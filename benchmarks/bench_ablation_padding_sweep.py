@@ -1,0 +1,57 @@
+"""Ablation A1: attack accuracy as a function of Browser padding size.
+
+Table 1 samples three padding levels; this sweep fills in the curve,
+showing the accuracy knee where padding starts to bucket most pages
+together, and the bandwidth overhead paid at each level (the anonymity
+trilemma's bandwidth axis, quantified).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fingerprint import FingerprintLab, KnnClassifier, evaluate_split
+
+from conftest import FULL_SCALE, banner
+
+N_SITES = 30 if FULL_SCALE else 15
+VISITS = 5 if FULL_SCALE else 4
+PADDINGS = [0, 250_000, 500_000, 1_000_000, 2_000_000]
+
+
+def run_sweep() -> dict:
+    lab = FingerprintLab(n_sites=N_SITES, n_relays=12, seed="pad-sweep")
+    rows = []
+    for padding in PADDINGS:
+        samples = lab.collect("browser", visits_per_site=VISITS,
+                              padding=padding)
+        X, y = lab.dataset(samples)
+        accuracy = 100.0 * evaluate_split(KnnClassifier(k=3), X, y,
+                                          train_fraction=0.75)
+        mean_bytes = sum(
+            sum(r.size for r in s.records if r.direction == -1)
+            for s in samples) / len(samples)
+        rows.append({"padding": padding, "accuracy": accuracy,
+                     "mean_down_bytes": mean_bytes})
+    return {"rows": rows, "chance": 100.0 / N_SITES}
+
+
+def test_ablation_padding_sweep(benchmark, experiment_recorder):
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    banner(f"ABLATION A1 — padding sweep ({N_SITES} sites, "
+           f"chance {result['chance']:.1f}%)")
+    print(f"{'padding':>10s} {'accuracy':>10s} {'mean download':>15s}")
+    for row in result["rows"]:
+        print(f"{row['padding'] // 1000:9d}k {row['accuracy']:9.1f}% "
+              f"{row['mean_down_bytes'] / 1e6:13.2f}MB")
+
+    experiment_recorder("ablation_padding_sweep", result)
+
+    accuracies = [row["accuracy"] for row in result["rows"]]
+    downloads = [row["mean_down_bytes"] for row in result["rows"]]
+    # More padding -> more bandwidth, and accuracy broadly declining
+    # (monotone modulo small-sample noise at the tail).
+    assert downloads == sorted(downloads)
+    assert accuracies[-1] < accuracies[0] / 2
+    assert min(accuracies) <= result["chance"] * 2.5 + 3.0

@@ -1,0 +1,101 @@
+"""§7.3 "Scalability of Browser": memory footprint and EPC capacity.
+
+Paper figures under test:
+
+* "The maximum memory usage of a Bento server and Browser is roughly
+  16-20 MB" — our python image baseline (16 MB) plus the Browser
+  manifest's working memory lands in that band,
+* "the estimated 7.3 MB required for conclaves",
+* "SGX provides ... 128MB, with only 93MB of this usable", so only a few
+  conclave-hosted functions fit before paging, and
+* "SGX has support for paging; enclaves could be paged out" — beyond the
+  budget, invocations keep working but pay a paging penalty.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.client import BentoClient
+from repro.core.server import BentoServer
+from repro.enclave.attestation import IntelAttestationService
+from repro.enclave.conclave import CONCLAVE_OVERHEAD_BYTES
+from repro.enclave.sgx import EPC_TOTAL_BYTES, EPC_USABLE_BYTES
+from repro.functions.browser import BrowserFunction
+from repro.tor.testnet import TorTestNetwork
+
+from conftest import banner
+
+MB = 1024 * 1024
+
+
+def run_memory_experiment() -> dict:
+    net = TorTestNetwork(n_relays=8, seed="mem-bench", bento_fraction=0.15)
+    ias = IntelAttestationService(net.sim.rng.fork("ias"))
+    server = BentoServer(net.bento_boxes()[0], net.authority, ias=ias)
+    net.create_web_server("m.example", {"/": b"x" * 100_000})
+    client = BentoClient(net.create_client(), ias=ias)
+    host = server.enclave_host
+
+    out = {}
+
+    def main(thread):
+        # One Browser inside a conclave.
+        session = client.connect(thread, client.pick_box())
+        session.request_image(thread, "python-op-sgx")
+        session.load_function(thread, BrowserFunction.SOURCE,
+                              BrowserFunction.manifest())
+        BrowserFunction.fetch(thread, session, "https://m.example/", 0)
+        instance = server._by_invocation[session.invocation_token]
+        out["bento_browser_mb"] = instance.memory_footprint / MB
+        out["conclave_overhead_mb"] = CONCLAVE_OVERHEAD_BYTES / MB
+        out["epc_one_function_mb"] = host.epc_committed / MB
+
+        # Keep loading Browsers until the EPC oversubscribes.
+        sessions = [session]
+        while not host.oversubscribed:
+            extra = client.connect(thread, client.pick_box())
+            extra.request_image(thread, "python-op-sgx")
+            extra.load_function(thread, BrowserFunction.SOURCE,
+                                BrowserFunction.manifest())
+            sessions.append(extra)
+        out["fit_before_paging"] = len(sessions) - 1
+        out["paging_penalty_s"] = host.paging_penalty()
+
+        # Paged-out functions still run — at a latency cost.
+        page_session = sessions[-1]
+        started = net.sim.now
+        BrowserFunction.fetch(thread, page_session, "https://m.example/", 0)
+        out["paged_fetch_s"] = net.sim.now - started
+        for s in sessions:
+            s.shutdown(thread)
+
+    net.sim.run_until_done(net.sim.spawn(main, name="memory"))
+    out["epc_total_mb"] = EPC_TOTAL_BYTES / MB
+    out["epc_usable_mb"] = EPC_USABLE_BYTES / MB
+    return out
+
+
+def test_memory_scalability(benchmark, experiment_recorder):
+    result = benchmark.pedantic(run_memory_experiment, rounds=1, iterations=1)
+
+    banner("§7.3 — memory footprint and EPC scalability")
+    print(f"Bento server + Browser footprint: "
+          f"{result['bento_browser_mb']:.1f} MB   (paper: 16-20 MB)")
+    print(f"conclave overhead:                {result['conclave_overhead_mb']:.1f} MB"
+          f"   (paper: 7.3 MB)")
+    print(f"EPC: {result['epc_total_mb']:.0f} MB total, "
+          f"{result['epc_usable_mb']:.0f} MB usable (paper: 128/93)")
+    print(f"conclave-hosted Browsers fitting without paging: "
+          f"{result['fit_before_paging']}")
+    print(f"paging penalty once oversubscribed: "
+          f"{result['paging_penalty_s'] * 1000:.2f} ms/invocation; "
+          f"paged fetch still completed in {result['paged_fetch_s']:.2f}s")
+
+    experiment_recorder("memory_scalability", result)
+
+    assert 16.0 <= result["bento_browser_mb"] <= 21.0
+    assert result["conclave_overhead_mb"] == pytest.approx(7.3, abs=0.05)
+    assert 2 <= result["fit_before_paging"] <= 5
+    assert result["paging_penalty_s"] > 0
+    assert result["paged_fetch_s"] < 30.0    # §7.3: "not a barrier"

@@ -1,0 +1,42 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation, prints it in the paper's layout, and appends its rows to
+``benchmarks/results.json`` for EXPERIMENTS.md.  Set ``REPRO_FULL=1`` to
+run at full paper scale (slower); the defaults are sized to finish the
+whole suite in minutes while preserving every trend.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+import pytest
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results.json"
+
+FULL_SCALE = os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+
+def record_result(experiment: str, payload: dict) -> None:
+    """Merge one experiment's measured rows into results.json."""
+    existing: dict = {}
+    if RESULTS_PATH.exists():
+        try:
+            existing = json.loads(RESULTS_PATH.read_text())
+        except json.JSONDecodeError:
+            existing = {}
+    existing[experiment] = payload
+    RESULTS_PATH.write_text(json.dumps(existing, indent=2, sort_keys=True))
+
+
+@pytest.fixture()
+def experiment_recorder():
+    """A writer benches use to persist their measured rows."""
+    return record_result
+
+
+def banner(title: str) -> None:
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")

@@ -1,0 +1,112 @@
+"""Systematic k-of-N erasure coding.
+
+The first ``k`` shards are the data stripes themselves; the remaining
+``N - k`` are parity rows of a Vandermonde-style matrix, so *any* ``k``
+shards reconstruct the file.  The degenerate ``k == 1`` case is plain
+replication, matching the paper's "in the trivial case where k = 1 and
+N > 1, Shard simply replicates".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.coding.gf256 import gf_inv, gf_mul, gf_mul_vector, gf_pow
+from repro.util.errors import ReproError
+
+
+class CodingError(ReproError):
+    """Bad parameters or not enough shards to reconstruct."""
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One encoded piece: its row index and payload."""
+
+    index: int
+    data: bytes
+
+
+def _stripes(data: bytes, k: int) -> np.ndarray:
+    """Split (and zero-pad) data into a k x stripe_len byte matrix."""
+    stripe_len = (len(data) + k - 1) // k if data else 1
+    padded = data.ljust(k * stripe_len, b"\x00")
+    return np.frombuffer(padded, dtype=np.uint8).reshape(k, stripe_len).copy()
+
+
+def _row_coefficients(index: int, k: int) -> list[int]:
+    """Row ``index`` of the encoding matrix.
+
+    Rows 0..k-1 form the identity (systematic); parity row ``i`` is the
+    Vandermonde row ``[a**0, a**1, ..., a**(k-1)]`` with ``a = i - k + 2``
+    (distinct nonzero elements per row).
+    """
+    if index < k:
+        return [1 if j == index else 0 for j in range(k)]
+    a = index - k + 2      # 2, 3, 4, ... — distinct and nonzero
+    return [gf_pow(a, j) for j in range(k)]
+
+
+def encode_shards(data: bytes, n: int, k: int) -> list[Shard]:
+    """Encode ``data`` into ``n`` shards, any ``k`` of which reconstruct it."""
+    if not 1 <= k <= n:
+        raise CodingError(f"need 1 <= k <= n, got k={k} n={n}")
+    if n - k + 1 > 254:
+        raise CodingError("too many parity shards for GF(256)")
+    if k == 1:
+        return [Shard(index=i, data=bytes(data)) for i in range(n)]
+    stripes = _stripes(data, k)
+    shards: list[Shard] = []
+    for index in range(n):
+        coefficients = _row_coefficients(index, k)
+        if index < k:
+            payload = stripes[index].tobytes()
+        else:
+            acc = np.zeros(stripes.shape[1], dtype=np.uint8)
+            for coefficient, stripe in zip(coefficients, stripes):
+                acc ^= gf_mul_vector(coefficient, stripe)
+            payload = acc.tobytes()
+        shards.append(Shard(index=index, data=payload))
+    return shards
+
+
+def decode_shards(shards: list[Shard], k: int, original_len: int) -> bytes:
+    """Reconstruct the original bytes from any ``k`` distinct shards."""
+    if k == 1:
+        if not shards:
+            raise CodingError("no shards supplied")
+        return shards[0].data[:original_len]
+    chosen: dict[int, Shard] = {}
+    for shard in shards:
+        chosen.setdefault(shard.index, shard)
+    if len(chosen) < k:
+        raise CodingError(f"need {k} distinct shards, have {len(chosen)}")
+    picked = sorted(chosen.values(), key=lambda s: s.index)[:k]
+    stripe_len = len(picked[0].data)
+    if any(len(s.data) != stripe_len for s in picked):
+        raise CodingError("shards have inconsistent lengths")
+
+    # Solve the k x k system row-reduce style in GF(256).
+    matrix = [list(_row_coefficients(s.index, k)) for s in picked]
+    rows = [np.frombuffer(s.data, dtype=np.uint8).copy() for s in picked]
+
+    for col in range(k):
+        pivot = next((r for r in range(col, k) if matrix[r][col] != 0), None)
+        if pivot is None:
+            raise CodingError("singular decode matrix (duplicate shards?)")
+        matrix[col], matrix[pivot] = matrix[pivot], matrix[col]
+        rows[col], rows[pivot] = rows[pivot], rows[col]
+        inv = gf_inv(matrix[col][col])
+        matrix[col] = [gf_mul(inv, v) for v in matrix[col]]
+        rows[col] = gf_mul_vector(inv, rows[col])
+        for r in range(k):
+            if r != col and matrix[r][col] != 0:
+                factor = matrix[r][col]
+                matrix[r] = [v ^ gf_mul(factor, m)
+                             for v, m in zip(matrix[r], matrix[col])]
+                rows[r] ^= gf_mul_vector(factor, rows[col])
+
+    data = b"".join(row.tobytes() for row in rows)
+    return data[:original_len]

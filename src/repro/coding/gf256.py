@@ -1,0 +1,76 @@
+"""GF(2^8) arithmetic with the AES polynomial (0x11B).
+
+Scalar helpers for clarity plus numpy lookup tables for bulk encoding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_POLY = 0x11B
+_GENERATOR = 0x03
+
+# Build exp/log tables once at import.
+EXP = np.zeros(512, dtype=np.uint8)
+LOG = np.zeros(256, dtype=np.int32)
+_value = 1
+for _i in range(255):
+    EXP[_i] = _value
+    LOG[_value] = _i
+    # multiply by the generator 0x03: v*3 = v*2 ^ v
+    doubled = _value << 1
+    if doubled & 0x100:
+        doubled ^= _POLY
+    _value = doubled ^ _value
+for _i in range(255, 512):
+    EXP[_i] = EXP[_i - 255]
+
+
+def gf_add(a: int, b: int) -> int:
+    """Addition (and subtraction) in GF(256) is XOR."""
+    return a ^ b
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiplication via log/antilog tables."""
+    if a == 0 or b == 0:
+        return 0
+    return int(EXP[int(LOG[a]) + int(LOG[b])])
+
+
+def gf_pow(a: int, n: int) -> int:
+    """Exponentiation ``a**n``."""
+    if n == 0:
+        return 1
+    if a == 0:
+        return 0
+    return int(EXP[(int(LOG[a]) * n) % 255])
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse; raises on zero."""
+    if a == 0:
+        raise ZeroDivisionError("zero has no inverse in GF(256)")
+    return int(EXP[255 - int(LOG[a])])
+
+
+def gf_div(a: int, b: int) -> int:
+    """Division ``a / b``."""
+    if b == 0:
+        raise ZeroDivisionError("division by zero in GF(256)")
+    if a == 0:
+        return 0
+    return int(EXP[(int(LOG[a]) - int(LOG[b])) % 255])
+
+
+def gf_mul_vector(coefficient: int, data: np.ndarray) -> np.ndarray:
+    """Multiply every byte of ``data`` by ``coefficient`` (vectorized)."""
+    if coefficient == 0:
+        return np.zeros_like(data)
+    if coefficient == 1:
+        return data.copy()
+    log_c = int(LOG[coefficient])
+    nonzero = data != 0
+    out = np.zeros_like(data)
+    out[nonzero] = EXP[log_c + LOG[data[nonzero].astype(np.int32)]]
+    return out

@@ -1,0 +1,54 @@
+"""Bento: the programmable-middlebox architecture itself.
+
+Everything in this package is the paper's primary contribution (§5):
+
+* :mod:`~repro.core.policy`   -- middlebox node policies (§5.5),
+* :mod:`~repro.core.manifest` -- function manifests (§5.5),
+* :mod:`~repro.core.tokens`   -- invocation/shutdown tokens, plus the
+  blinded-token scheme sketched in §5.3 n.3,
+* :mod:`~repro.core.messages` -- the Bento wire protocol,
+* :mod:`~repro.core.images`   -- the standard container images (§5.4),
+* :mod:`~repro.core.api`      -- the constrained API functions program
+  against,
+* :mod:`~repro.core.loader`   -- the in-container function runtime,
+* :mod:`~repro.core.server`   -- the Bento server (§5.2),
+* :mod:`~repro.core.client`   -- the Bento client and session.
+"""
+
+from repro.core.errors import (
+    BentoError,
+    ManifestRejected,
+    TokenInvalid,
+    FunctionCrashed,
+)
+from repro.core.policy import MiddleboxNodePolicy, ALL_API_CALLS
+from repro.core.manifest import FunctionManifest
+from repro.core.tokens import TokenPair, BlindTokenIssuer, BlindTokenWallet
+from repro.core.images import (
+    ContainerImage,
+    IMAGE_PYTHON,
+    IMAGE_PYTHON_OP_SGX,
+    image_by_name,
+)
+from repro.core.server import BentoServer
+from repro.core.client import BentoClient, BentoSession
+
+__all__ = [
+    "BentoError",
+    "ManifestRejected",
+    "TokenInvalid",
+    "FunctionCrashed",
+    "MiddleboxNodePolicy",
+    "ALL_API_CALLS",
+    "FunctionManifest",
+    "TokenPair",
+    "BlindTokenIssuer",
+    "BlindTokenWallet",
+    "ContainerImage",
+    "IMAGE_PYTHON",
+    "IMAGE_PYTHON_OP_SGX",
+    "image_by_name",
+    "BentoServer",
+    "BentoClient",
+    "BentoSession",
+]

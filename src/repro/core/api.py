@@ -1,0 +1,571 @@
+"""The ``api`` object: everything a Bento function can do.
+
+Functions are arbitrary Python, but their *only* capability is this object
+(§5.1: "they are constrained to a limited API, and run in a restricted
+sandbox").  Every method:
+
+1. checks the call is in the function's **manifest** (the sandbox is
+   constrained to the manifest even when the operator's policy allows
+   more, §5.5),
+2. checks the syscalls it maps to against the container's **seccomp**
+   filter,
+3. checks destinations against the container's **iptables** rules,
+4. charges the container's **cgroup**, and
+5. pays the **enclave transition cost** when running in a conclave.
+
+A function killed by the sandbox (or shut down by its owner) sees
+:class:`FunctionKilled` from its next API call.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+from repro.core.apispec import API_SYSCALLS
+from repro.core.errors import BentoError
+from repro.netsim.bytestream import DirectByteStream
+from repro.netsim.http import HttpResponse, http_get
+from repro.netsim.simulator import Future, SimThread
+from repro.sandbox.seccomp import SeccompViolation
+from repro.util.errors import ReproError
+
+
+class ApiError(BentoError):
+    """Misuse of the function API (bad arguments, unknown handle, ...)."""
+
+
+class FunctionKilled(ReproError):
+    """The sandbox or the owner terminated this function."""
+
+
+class SandboxedStream:
+    """A byte stream handed to a function, gated and byte-accounted.
+
+    Wraps direct connections (gate ``connect``) and hidden-service streams
+    (gate ``stem.create_hidden_service``) alike.
+    """
+
+    def __init__(self, api: "FunctionApi", stream,
+                 gate: str = "connect") -> None:
+        self._api = api
+        self._stream = stream
+        self._gate_name = gate
+
+    def send(self, data: bytes) -> None:
+        """Send bytes to the peer."""
+        self._api._gate(self._gate_name)
+        self._api._instance.container.charge_network(len(data))
+        self._stream.send(data)
+
+    def recv(self, timeout: Optional[float] = None) -> bytes:
+        """Block until the next chunk arrives; b'' at EOF."""
+        self._api._gate(self._gate_name)
+        data = self._stream.recv(self._api._thread, timeout=timeout)
+        self._api._instance.container.charge_network(len(data))
+        return data
+
+    def close(self) -> None:
+        """Close the stream/connection."""
+        self._stream.close()
+
+
+class HttpSessionApi:
+    """``api.http_session(...)``: keep-alive GETs over one connection."""
+
+    def __init__(self, api: "FunctionApi", framed) -> None:
+        self._api = api
+        self._framed = framed
+
+    def get(self, path: str, timeout: float = 600.0) -> HttpResponse:
+        """One GET on the persistent connection."""
+        self._api._gate("http_get")
+        from repro.netsim.http import fetch
+
+        response = fetch(self._api._thread, self._framed, path,
+                         timeout=timeout)
+        self._api._instance.container.charge_network(len(response.body))
+        return response
+
+    def close(self) -> None:
+        """Close the stream/connection."""
+        self._framed.close()
+
+
+class StorageApi:
+    """``api.storage``: the chrooted (and, in a conclave, encrypted) store."""
+
+    def __init__(self, api: "FunctionApi") -> None:
+        self._api = api
+
+    def _fs(self):
+        instance = self._api._instance
+        if instance.conclave is not None:
+            return instance.conclave.fs
+        return instance.container.fs
+
+    def put(self, path: str, data: bytes) -> None:
+        """Write a file (charged against the disk quota)."""
+        self._api._gate("storage.put")
+        instance = self._api._instance
+        fs = self._fs()
+        current = 0
+        if fs.exists(path):
+            current = fs.file_size(path)
+        delta = len(data) - current
+        if delta > 0:
+            instance.container.cgroup.charge("disk", delta)
+        fs.write_file(path, bytes(data))
+        if delta < 0:
+            instance.container.cgroup.charge("disk", delta)
+
+    def get(self, path: str) -> bytes:
+        """Read a file."""
+        self._api._gate("storage.get")
+        return self._fs().read_file(path)
+
+    def list(self, path: str = "/") -> list[str]:
+        """All file paths under ``path``."""
+        self._api._gate("storage.list")
+        return self._fs().walk_files(path)
+
+    def delete(self, path: str) -> None:
+        """Remove a file (releases quota)."""
+        self._api._gate("storage.delete")
+        instance = self._api._instance
+        fs = self._fs()
+        size = fs.file_size(path) if fs.exists(path) else 0
+        fs.delete(path)
+        if size:
+            instance.container.cgroup.charge("disk", -size)
+
+    def exists(self, path: str) -> bool:
+        """Does a file exist?  (Gated as a read.)"""
+        self._api._gate("storage.get")
+        return self._fs().exists(path)
+
+
+class StemApi:
+    """``api.stem``: the firewall-mediated controller (§5.3)."""
+
+    def __init__(self, api: "FunctionApi") -> None:
+        self._api = api
+
+    def _firewall(self):
+        return self._api._instance.firewall
+
+    def new_circuit(self, **kwargs) -> str:
+        """Mediated :meth:`Controller.new_circuit`."""
+        self._api._gate("stem.new_circuit")
+        return self._firewall().new_circuit(self._api._thread, **kwargs)
+
+    def close_circuit(self, circuit_id: str) -> None:
+        """Mediated circuit teardown (ownership enforced)."""
+        self._api._gate("stem.close_circuit")
+        self._firewall().close_circuit(circuit_id)
+
+    def attach_stream(self, circuit_id: str, host: str, port: int):
+        """Mediated stream attach (ownership enforced)."""
+        self._api._gate("stem.attach_stream")
+        return self._firewall().attach_stream(self._api._thread, circuit_id,
+                                              host, port)
+
+    def get_network_statuses(self):
+        """Mediated consensus listing."""
+        self._api._gate("stem.get_network_statuses")
+        return self._firewall().get_network_statuses()
+
+    def get_info(self, key: str):
+        """Mediated GETINFO."""
+        self._api._gate("stem.get_info")
+        return self._firewall().get_info(key)
+
+    def create_hidden_service(self, handler, n_intro: int = 3,
+                              key_material: Optional[dict] = None,
+                              establish: bool = True,
+                              manual_introductions: bool = False):
+        """Host a hidden service.  ``handler(stream, host, port)`` runs in
+        its own thread per accepted stream, with the stream gated and
+        byte-accounted like any other function I/O.
+
+        ``key_material`` (from ``service.export_key_material()``) clones an
+        existing service identity; ``establish=False`` makes a detached
+        replica endpoint; ``manual_introductions=True`` queues
+        introductions for :meth:`wait_introduction`.
+        """
+        self._api._gate("stem.create_hidden_service")
+        api = self._api
+        sim = api._instance.server.sim
+
+        wrapped = None
+        if handler is not None:
+            def wrapped(stream, host, port):  # noqa: ANN001 - duck-typed
+                """Per-stream wrapper: serve each accepted stream in a thread."""
+                def _serve(thread):
+                    api._bind(thread, None)
+                    handler(SandboxedStream(api, stream,
+                                            gate="stem.create_hidden_service"),
+                            host, port)
+                sim.spawn(_serve, name=f"fn-hs:{api._instance.instance_id}")
+
+        keypair = None
+        if key_material is not None:
+            from repro.crypto.rsa import RsaKeyPair
+            keypair = RsaKeyPair.from_parts(key_material)
+        return self._firewall().create_hidden_service(
+            self._api._thread, wrapped, n_intro=n_intro, keypair=keypair,
+            establish=establish, manual_introductions=manual_introductions)
+
+    def wait_introduction(self, service, timeout: Optional[float] = None) -> dict:
+        """Next queued introduction on a manual-mode service."""
+        self._api._gate("stem.hs_wait_introduction")
+        return self._firewall().hs_wait_introduction(
+            self._api._thread, service, timeout=timeout)
+
+    def complete_rendezvous(self, service, request: dict, wait: bool = True):
+        """Answer one introduction from this node (LoadBalancer replicas).
+
+        ``wait=False`` runs the rendezvous-circuit construction in its own
+        thread so a dispatcher can keep serving other clients — the same
+        concurrency an unmodified hidden service gets for free.
+        """
+        self._api._gate("stem.hs_complete_rendezvous")
+        if wait:
+            return self._firewall().hs_complete_rendezvous(
+                self._api._thread, service, request)
+        api = self._api
+        firewall = self._firewall()
+        sim = api._instance.server.sim
+
+        def _worker(thread):
+            api._bind(thread, None)
+            firewall.hs_complete_rendezvous(thread, service, request)
+
+        sim.spawn(_worker, name=f"rend:{api._instance.instance_id}")
+        return None
+
+    def remove_hidden_service(self, onion_address: str) -> None:
+        """Mediated hidden-service removal (ownership enforced)."""
+        self._api._gate("stem.remove_hidden_service")
+        self._firewall().remove_hidden_service(onion_address)
+
+    def connect_to_hidden_service(self, onion_address: str):
+        """Mediated client-side rendezvous."""
+        self._api._gate("stem.connect_to_hidden_service")
+        return self._firewall().connect_to_hidden_service(
+            self._api._thread, onion_address)
+
+    def send_padding(self, circuit_id: str, hop_index: Optional[int] = None,
+                     payload: bytes = b"") -> None:
+        """Mediated RELAY_DROP injection (ownership enforced)."""
+        self._api._gate("stem.send_padding")
+        self._firewall().send_padding(circuit_id, hop_index=hop_index,
+                                      payload=payload)
+
+    def fetch(self, circuit_id: str, url: str, offset: Optional[int] = None,
+              length: Optional[int] = None, timeout: float = 600.0) -> dict:
+        """An HTTP(S) GET (optionally ranged) through an owned circuit."""
+        self._api._gate("stem.fetch")
+        return self._firewall().fetch(self._api._thread, circuit_id, url,
+                                      offset=offset, length=length,
+                                      timeout=timeout)
+
+    def fetch_begin(self, circuit_id: str, url: str,
+                    offset: Optional[int] = None,
+                    length: Optional[int] = None,
+                    timeout: float = 600.0):
+        """Start a fetch without blocking; join with :meth:`fetch_join`.
+
+        This is how the multipath function overlaps transfers on several
+        circuits from single-threaded function code.
+        """
+        self._api._gate("stem.fetch")
+        api = self._api
+        firewall = self._firewall()
+        sim = api._instance.server.sim
+
+        def _worker(thread):
+            api._bind(thread, None)
+            return firewall.fetch(thread, circuit_id, url, offset=offset,
+                                  length=length, timeout=timeout)
+
+        return sim.spawn(_worker, name=f"fetch:{api._instance.instance_id}")
+
+    def fetch_join(self, handle, timeout: float = 600.0) -> dict:
+        """Wait for a :meth:`fetch_begin` transfer and return its result."""
+        self._api._gate("stem.fetch")
+        return self._api._thread.join(handle, timeout=timeout)
+
+
+class FunctionApi:
+    """The capability object injected into every function's namespace."""
+
+    def __init__(self, instance) -> None:
+        self._instance = instance
+        # Per-OS-thread state: each sim-thread (the entry invocation plus
+        # any hidden-service handler threads) binds itself here, so
+        # concurrent handlers never clobber each other's context.
+        self._tls = threading.local()
+        self._inbox: list[tuple[bytes, Any]] = []
+        self._recv_waiter: Optional[Future] = None
+        self._killed = False
+        self._kill_reason = ""
+        self.call_log: list[str] = []
+        self.storage = StorageApi(self)
+        self.stem = StemApi(self)
+        self._remote_sessions: dict[str, Any] = {}
+        self._remote_ids = 0
+
+    # -- runtime plumbing (not callable by functions through the namespace,
+    #    but Python has no private: "we are all responsible users") ----------
+
+    @property
+    def _thread(self) -> Optional[SimThread]:
+        return getattr(self._tls, "thread", None)
+
+    @property
+    def _current_peer(self):
+        return getattr(self._tls, "peer", None)
+
+    @_current_peer.setter
+    def _current_peer(self, peer) -> None:
+        self._tls.peer = peer
+
+    def _bind(self, thread: SimThread, peer) -> None:
+        self._tls.thread = thread
+        self._tls.peer = peer
+
+    def _push_message(self, payload: bytes, peer) -> None:
+        self._inbox.append((payload, peer))
+        if self._recv_waiter is not None and not self._recv_waiter.done:
+            self._recv_waiter.resolve(None)
+
+    def _kill(self, reason: str) -> None:
+        self._killed = True
+        self._kill_reason = reason
+        if self._recv_waiter is not None and not self._recv_waiter.done:
+            self._recv_waiter.reject(FunctionKilled(reason))
+
+    def _gate(self, call_name: str) -> None:
+        """The enforcement choke point every API call passes through."""
+        if self._killed:
+            raise FunctionKilled(self._kill_reason or "function terminated")
+        instance = self._instance
+        self.call_log.append(call_name)
+        if call_name not in instance.manifest.api_calls:
+            instance.kill(f"api call {call_name!r} not in manifest")
+            raise FunctionKilled(f"api call {call_name!r} not in manifest")
+        try:
+            instance.container.seccomp.check_all(
+                API_SYSCALLS[call_name], context=call_name)
+        except SeccompViolation as exc:
+            instance.kill(str(exc))
+            raise FunctionKilled(str(exc)) from exc
+        if instance.conclave is not None and self._thread is not None:
+            cost = instance.conclave.invoke_cost()
+            if cost > 0:
+                self._thread.sleep(cost)
+
+    # -- talking to the client ----------------------------------------------
+
+    def send(self, payload: bytes) -> None:
+        """Deliver bytes to the client who sent the message being handled."""
+        self._gate("send")
+        from repro.core import messages  # late import avoids a cycle
+
+        peer = self._current_peer
+        if peer is None:
+            raise ApiError("no client attached to send to")
+        self._instance.container.charge_network(len(payload))
+        try:
+            peer.send_frame(messages.encode_message(
+                messages.OUTPUT, payload=bytes(payload)))
+        except Exception:
+            pass  # client went away; outputs are best-effort
+
+    def recv(self, timeout: Optional[float] = None) -> bytes:
+        """Block until the next client message arrives."""
+        self._gate("recv")
+        while not self._inbox:
+            self._recv_waiter = Future(self._instance.server.sim)
+            self._thread.wait(self._recv_waiter, timeout=timeout)
+            self._recv_waiter = None
+        payload, peer = self._inbox.pop(0)
+        self._current_peer = peer
+        return payload
+
+    def log(self, message: str) -> None:
+        """Append to the function's log (visible to the function owner)."""
+        self._gate("log")
+        self._instance.logs.append(f"[{self._instance.server.sim.now:.3f}] {message}")
+
+    # -- time and randomness -----------------------------------------------------
+
+    def sleep(self, duration: float) -> None:
+        """Sleep in simulated time."""
+        self._gate("sleep")
+        self._thread.sleep(duration)
+
+    def time(self) -> float:
+        """The current simulated time."""
+        self._gate("time")
+        return self._instance.server.sim.now
+
+    def random_bytes(self, n: int) -> bytes:
+        """Cryptographically-styled random bytes (deterministic per run)."""
+        self._gate("random")
+        return self._instance.rng.randbytes(n)
+
+    # -- direct network access (the exit path) ---------------------------------------
+
+    def http_get(self, url: str, timeout: float = 600.0) -> HttpResponse:
+        """Fetch a URL directly from this Bento box (like ``requests.get``)."""
+        self._gate("http_get")
+        instance = self._instance
+        from repro.netsim.http import parse_url
+
+        parsed = parse_url(url)
+        address = instance.server.network.resolve(parsed.host)
+        instance.container.iptables.check(address, parsed.port)
+        response = http_get(self._thread, instance.server.network,
+                            instance.server.node, url, timeout=timeout)
+        instance.container.charge_network(len(response.body))
+        return response
+
+    def http_session(self, host: str, port: int = 443,
+                     timeout: float = 60.0) -> "HttpSessionApi":
+        """A keep-alive HTTP session to one origin (like requests.Session).
+
+        One connection, many GETs — what a real web client does when
+        crawling a page's subresources.
+        """
+        self._gate("http_get")
+        instance = self._instance
+        address = instance.server.network.resolve(host)
+        instance.container.iptables.check(address, port)
+        conn = instance.server.network.connect_blocking(
+            self._thread, instance.server.node, address, port,
+            handshake_rtts=2.0 if port == 443 else 1.0, timeout=timeout)
+        from repro.netsim.bytestream import FramedStream
+
+        framed = FramedStream(DirectByteStream(conn, instance.server.node))
+        return HttpSessionApi(self, framed)
+
+    def connect(self, host: str, port: int,
+                timeout: float = 60.0) -> SandboxedStream:
+        """Open a raw (direct) connection, subject to iptables rules."""
+        self._gate("connect")
+        instance = self._instance
+        address = instance.server.network.resolve(host)
+        instance.container.iptables.check(address, port)
+        conn = instance.server.network.connect_blocking(
+            self._thread, instance.server.node, address, port, timeout=timeout)
+        return SandboxedStream(self, DirectByteStream(conn, instance.server.node))
+
+    # -- composition: deploying functions on other Bento boxes (§3) --------------------
+
+    def deploy(self, code: str, manifest_wire: dict,
+               target_fingerprint: Optional[str] = None,
+               exclude_fingerprints: Optional[list] = None,
+               direct: bool = False,
+               timeout: float = 240.0) -> str:
+        """Install a function on *another* Bento box; returns a handle.
+
+        This is the primitive behind Figure 2 (Browser deploying Dropbox).
+        The connection to the remote box runs over a fresh Tor circuit by
+        default; ``direct=True`` dials the box's Bento port straight over
+        the network — no anonymity, but full bandwidth — for deployments
+        onto infrastructure the function's owner already controls (the
+        LoadBalancer pushing content to its own replicas, as the paper's
+        EC2 deployment did).
+        """
+        self._gate("deploy")
+        from repro.core.client import BentoClient
+        from repro.core.manifest import FunctionManifest
+
+        instance = self._instance
+        client = BentoClient(instance.server.tor_client, instance.server.ias,
+                             rng=instance.rng.fork(f"deploy{self._remote_ids}"))
+        boxes = client.discover_boxes()
+        boxes = [b for b in boxes
+                 if b.identity_fp != instance.server.relay.fingerprint]
+        if target_fingerprint is not None:
+            boxes = [b for b in boxes if b.identity_fp == target_fingerprint]
+        elif exclude_fingerprints:
+            spread = [b for b in boxes
+                      if b.identity_fp not in exclude_fingerprints]
+            if spread:        # prefer unused boxes, fall back if exhausted
+                boxes = spread
+        if not boxes:
+            raise ApiError("no eligible Bento box to deploy to")
+        box = boxes[0] if target_fingerprint else instance.rng.choice(boxes)
+        manifest = FunctionManifest.from_wire(manifest_wire)
+        if direct:
+            session = client.connect_direct(self._thread, box,
+                                            timeout=timeout)
+        else:
+            session = client.connect(self._thread, box, timeout=timeout)
+        session.request_image(self._thread, manifest.image, timeout=timeout)
+        session.load_function(self._thread, code, manifest, timeout=timeout)
+        self._remote_ids += 1
+        handle = f"remote-{self._remote_ids}"
+        self._remote_sessions[handle] = session
+        return handle
+
+    def _session(self, handle: str):
+        try:
+            return self._remote_sessions[handle]
+        except KeyError:
+            raise ApiError(f"unknown remote handle: {handle}") from None
+
+    def remote_invoke(self, handle: str, args: list,
+                      timeout: float = 600.0) -> Any:
+        """Invoke a deployed function and wait for its result."""
+        self._gate("remote_invoke")
+        session = self._session(handle)
+        return session.invoke(self._thread, args, timeout=timeout)
+
+    def remote_invoke_nowait(self, handle: str, args: list) -> None:
+        """Start a deployed function without waiting for it to finish
+        (for long-running loops like Dropbox)."""
+        self._gate("remote_invoke")
+        self._session(handle).invoke_nowait(args)
+
+    def remote_send(self, handle: str, payload: bytes) -> None:
+        """Send an in-band message to a deployed (running) function."""
+        self._gate("remote_send")
+        self._session(handle).send_message(payload)
+
+    def remote_recv(self, handle: str, timeout: float = 600.0) -> bytes:
+        """Receive the next output from a deployed function."""
+        self._gate("remote_recv")
+        return self._session(handle).next_output(self._thread, timeout=timeout)
+
+    def remote_info(self, handle: str) -> dict:
+        """Where a deployed function lives and how to reach it.
+
+        The invocation token is a shareable capability (§5.3), so a
+        function can hand these out — Shard returns them so the owner can
+        fetch pieces directly from each Dropbox later.
+        """
+        self._gate("deploy")
+        session = self._session(handle)
+        return {
+            "box_fp": session.box.identity_fp if session.box else "",
+            "box_nickname": session.box.nickname if session.box else "",
+            "invocation": session.invocation_token,
+        }
+
+    def remote_shutdown(self, handle: str, timeout: float = 120.0) -> None:
+        """Shut a deployed function down (we hold its shutdown token)."""
+        self._gate("remote_shutdown")
+        session = self._remote_sessions.pop(handle, None)
+        if session is not None:
+            session.shutdown(self._thread, timeout=timeout)
+
+    # -- introspection for the function itself ------------------------------------
+
+    @property
+    def invocation_token(self) -> str:
+        """This function's own invocation token (shareable capability)."""
+        return self._instance.tokens.invocation

@@ -1,0 +1,48 @@
+"""The function API surface and its syscall footprint.
+
+One table drives three enforcement points: middlebox node policies and
+manifests are boolean vectors over :data:`ALL_API_CALLS`; the container's
+seccomp filter checks :data:`API_SYSCALLS` before each call proceeds.
+"""
+
+from __future__ import annotations
+
+from repro.stemlib.firewall import STEM_ROUTINES
+
+_NET = ("socket", "connect", "sendto", "recvfrom")
+_LOCAL_SOCKET = ("socket", "connect", "sendto", "recvfrom")   # firewall socket
+
+# api call -> syscalls it needs.
+API_SYSCALLS: dict[str, tuple[str, ...]] = {
+    "send": ("write",),
+    "recv": ("read",),
+    "log": ("write",),
+    "sleep": ("nanosleep",),
+    "time": ("clock_gettime",),
+    "random": ("getrandom",),
+    "http_get": _NET,
+    "connect": _NET,
+    "storage.put": ("open", "write"),
+    "storage.get": ("open", "read"),
+    "storage.list": ("open", "read"),
+    "storage.delete": ("unlink",),
+    "deploy": _NET,
+    "remote_invoke": _NET,
+    "remote_send": _NET,
+    "remote_recv": _NET,
+    "remote_shutdown": _NET,
+}
+API_SYSCALLS.update({f"stem.{routine}": _LOCAL_SOCKET for routine in STEM_ROUTINES})
+
+ALL_API_CALLS = frozenset(API_SYSCALLS)
+
+
+def syscalls_for(api_calls) -> frozenset[str]:
+    """The syscall set a manifest requesting ``api_calls`` needs."""
+    needed: set[str] = set()
+    for call in api_calls:
+        try:
+            needed.update(API_SYSCALLS[call])
+        except KeyError:
+            raise ValueError(f"unknown api call: {call}") from None
+    return frozenset(needed)

@@ -1,0 +1,270 @@
+"""The Bento client: discovery, attestation, upload, invocation.
+
+The flow of Figure 1: find a willing Bento box in the Tor directory, build
+a circuit terminating at it, verify the box's attestation (stapled or by
+asking the IAS directly), upload the function over the attested channel,
+invoke it, and — eventually — spend the shutdown token.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core import messages
+from repro.core.errors import AttestationRejected, BentoError
+from repro.core.images import image_by_name, known_measurement
+from repro.core.manifest import FunctionManifest
+from repro.core.policy import MiddleboxNodePolicy
+from repro.enclave.attestation import AttestationReport, Quote
+from repro.enclave.conclave import Conclave, SecureChannel
+from repro.enclave.attestation import IntelAttestationService
+from repro.netsim.bytestream import FramedStream
+from repro.netsim.simulator import SimThread
+from repro.tor.circuit import Circuit
+from repro.tor.client import TorClient
+from repro.tor.descriptor import RelayDescriptor
+from repro.util.rng import DeterministicRandom
+
+
+class BentoClient:
+    """A user's handle for dealing with Bento boxes."""
+
+    def __init__(self, tor_client: TorClient,
+                 ias: Optional[IntelAttestationService] = None,
+                 rng: Optional[DeterministicRandom] = None) -> None:
+        self.tor = tor_client
+        self.sim = tor_client.sim
+        self.ias = ias
+        self.rng = rng or tor_client.sim.rng.fork(
+            f"bentoclient:{tor_client.node.name}")
+
+    # -- discovery ----------------------------------------------------------
+
+    def discover_boxes(self) -> list[RelayDescriptor]:
+        """Bento boxes advertised in the (verified) consensus."""
+        return [router for router in self.tor.consensus().routers
+                if router.bento_port is not None]
+
+    def pick_box(self, exclude: tuple[str, ...] = ()) -> RelayDescriptor:
+        """A uniformly random Bento box ("chooses one at random", §3)."""
+        boxes = [b for b in self.discover_boxes()
+                 if b.identity_fp not in exclude]
+        if not boxes:
+            raise BentoError("no Bento boxes in the consensus")
+        return self.rng.choice(boxes)
+
+    # -- connection -------------------------------------------------------------
+
+    def connect(self, thread: SimThread, box: RelayDescriptor,
+                circuit: Optional[Circuit] = None,
+                timeout: float = 240.0) -> "BentoSession":
+        """Open a session over Tor: circuit ending at the box, stream to
+        its Bento port via the localhost exception."""
+        own_circuit = circuit is None
+        if circuit is None:
+            circuit = self.tor.build_circuit(thread, final_hop=box,
+                                             timeout=timeout)
+        stream = circuit.open_stream(thread, box.address, box.bento_port,
+                                     timeout=timeout)
+        return BentoSession(self, FramedStream(stream), circuit,
+                            close_circuit=own_circuit, box=box)
+
+    def connect_direct(self, thread: SimThread, box: RelayDescriptor,
+                       timeout: float = 120.0) -> "BentoSession":
+        """A session over a *direct* connection (no Tor circuit).
+
+        For operators managing their own infrastructure — e.g. a
+        LoadBalancer pushing content to its replicas, the way the paper's
+        deployment copied files between its own EC2 instances.  Offers no
+        anonymity toward the box; never use it for someone else's box.
+        """
+        from repro.netsim.bytestream import DirectByteStream
+
+        conn = self.tor.network.connect_blocking(
+            thread, self.tor.node, box.address, box.bento_port,
+            timeout=timeout)
+        framed = FramedStream(DirectByteStream(conn, self.tor.node))
+        return BentoSession(self, framed, circuit=None, close_circuit=False,
+                            box=box)
+
+    def connect_via_onion(self, thread: SimThread, onion_address: str,
+                          timeout: float = 240.0) -> "BentoSession":
+        """Reach a Bento server that runs as a hidden service."""
+        circuit = self.tor.connect_to_hidden_service(thread, onion_address,
+                                                     timeout=timeout)
+        stream = circuit.open_stream(thread, "", 0, timeout=timeout)
+        return BentoSession(self, FramedStream(stream), circuit,
+                            close_circuit=True, box=None)
+
+
+class BentoSession:
+    """One client's connection to one Bento box."""
+
+    def __init__(self, client: BentoClient, framed: FramedStream,
+                 circuit: Optional[Circuit], close_circuit: bool,
+                 box: Optional[RelayDescriptor]) -> None:
+        self.client = client
+        self.framed = framed
+        self.circuit = circuit
+        self.box = box
+        self._close_circuit = close_circuit
+        self.invocation_token: Optional[str] = None
+        self.shutdown_token: Optional[str] = None
+        self.image_name: Optional[str] = None
+        self.channel: Optional[SecureChannel] = None
+        self._client_pub: Optional[bytes] = None
+        self.report: Optional[AttestationReport] = None
+        self._pending: list[dict] = []     # out-of-order frames
+
+    # -- low-level framing ------------------------------------------------
+
+    def _request(self, thread: SimThread, frame: bytes, expect: str,
+                 timeout: float) -> dict:
+        self.framed.send_frame(frame)
+        return self._await(thread, expect, timeout)
+
+    def _await(self, thread: SimThread, expect: str, timeout: float) -> dict:
+        for index, queued in enumerate(self._pending):
+            if queued["type"] == expect:
+                return self._pending.pop(index)
+        while True:
+            raw = self.framed.recv_frame(thread, timeout=timeout)
+            if raw is None:
+                raise BentoError("Bento server closed the connection")
+            message = messages.decode_message(raw)
+            if message["type"] == expect:
+                return message
+            if message["type"] == messages.ERROR:
+                raise BentoError(
+                    f"server error: {message.get('reason')} "
+                    f"({message.get('detail', '')})")
+            self._pending.append(message)
+
+    # -- protocol steps -----------------------------------------------------------
+
+    def query_policy(self, thread: SimThread,
+                     timeout: float = 120.0) -> MiddleboxNodePolicy:
+        """Fetch the box's middlebox node policy (§5.5)."""
+        reply = self._request(
+            thread, messages.encode_message(messages.POLICY_QUERY),
+            messages.POLICY, timeout)
+        return MiddleboxNodePolicy.from_wire(reply["policy"])
+
+    def request_image(self, thread: SimThread, image: str = "python",
+                      verify: str = "stapled",
+                      timeout: float = 240.0) -> None:
+        """Provision a container; attest it if it is the enclave image.
+
+        ``verify`` is ``"stapled"`` (trust the server-fetched IAS report),
+        ``"ias"`` (submit the quote to the IAS ourselves — one more WAN
+        round trip but uncorrelated with the later function upload), or
+        ``"none"`` (explicitly skip verification).
+        """
+        reply = self._request(
+            thread, messages.encode_message(messages.REQUEST_IMAGE, image=image),
+            messages.IMAGE_READY, timeout)
+        self.invocation_token = reply["invocation"]
+        self.shutdown_token = reply["shutdown"]
+        self.image_name = reply["image"]
+
+        if image_by_name(image).uses_enclave:
+            expected = known_measurement(image)
+            if verify == "none":
+                report = AttestationReport.from_wire(reply["report"])
+            elif verify == "stapled":
+                report = AttestationReport.from_wire(reply["report"])
+                if self.client.ias is None:
+                    raise AttestationRejected("no IAS key to verify against")
+                if not report.verify(self.client.ias.public_key,
+                                     expected_measurement=expected):
+                    raise AttestationRejected("stapled report failed verification")
+            elif verify == "ias":
+                if self.client.ias is None:
+                    raise AttestationRejected("no IAS to verify with")
+                quote = Quote.from_wire(reply["quote"])
+                report = self.client.ias.verify_quote_blocking(thread, quote)
+                if not report.verify(self.client.ias.public_key,
+                                     expected_measurement=expected):
+                    raise AttestationRejected("IAS report failed verification")
+            else:
+                raise ValueError(f"unknown verify mode: {verify}")
+            self.report = report
+            if verify != "none":
+                self.channel, self._client_pub = Conclave.client_channel(
+                    self.client.rng, report, self.client.ias.public_key,
+                    expected)
+
+    def load_function(self, thread: SimThread, code: str,
+                      manifest: FunctionManifest,
+                      data: Optional[dict[str, bytes]] = None,
+                      timeout: float = 240.0) -> None:
+        """Upload the function (sealed end-to-end when attested)."""
+        if self.invocation_token is None:
+            raise BentoError("request_image must succeed before load_function")
+        fields: dict[str, Any] = {
+            "token": self.invocation_token,
+            "manifest": manifest.to_wire(),
+        }
+        if self.channel is not None:
+            fields["sealed_code"] = self.channel.seal(code.encode("utf-8"))
+            fields["client_pub"] = self._client_pub
+        else:
+            fields["code"] = code
+        if data:
+            fields["data"] = dict(data)
+        self._request(thread,
+                      messages.encode_message(messages.LOAD_FUNCTION, **fields),
+                      messages.LOADED, timeout)
+
+    def attach(self, thread: SimThread, invocation_token: str,
+               timeout: float = 120.0) -> None:
+        """Adopt a shared invocation token on a fresh session (§5.3:
+        "a client [can] share the invocation token ... with other users")."""
+        self.invocation_token = invocation_token
+        self._request(thread, messages.encode_message(
+            messages.ATTACH, token=invocation_token),
+            messages.LOADED, timeout)
+
+    def invoke(self, thread: SimThread, args: list,
+               timeout: float = 600.0) -> Any:
+        """Run the function and wait for its return value.
+
+        Outputs the function emits before returning are queued and remain
+        readable via :meth:`next_output`.
+        """
+        self.framed.send_frame(messages.encode_message(
+            messages.INVOKE, token=self.invocation_token, args=list(args)))
+        done = self._await(thread, messages.DONE, timeout)
+        return done["result"]
+
+    def invoke_nowait(self, args: Optional[list] = None) -> None:
+        """Fire an invocation without waiting (for long-running functions)."""
+        self.framed.send_frame(messages.encode_message(
+            messages.INVOKE, token=self.invocation_token,
+            args=list(args or [])))
+
+    def send_message(self, payload: bytes) -> None:
+        """An in-band message to the (running) function — api.recv() feed."""
+        self.framed.send_frame(messages.encode_message(
+            messages.MSG, token=self.invocation_token, payload=bytes(payload)))
+
+    def next_output(self, thread: SimThread, timeout: float = 600.0) -> bytes:
+        """The next api.send() payload from the function."""
+        reply = self._await(thread, messages.OUTPUT, timeout)
+        return reply["payload"]
+
+    def shutdown(self, thread: SimThread, timeout: float = 120.0) -> None:
+        """Spend the shutdown token; the container is reclaimed."""
+        if self.shutdown_token is None:
+            raise BentoError("no shutdown token held")
+        self._request(thread, messages.encode_message(
+            messages.SHUTDOWN, token=self.shutdown_token),
+            messages.SHUTDOWN_OK, timeout)
+
+    def close(self) -> None:
+        """Drop the transport (the function keeps running; §5.3
+        fate-sharing is with the *box*, not this connection)."""
+        self.framed.close()
+        if (self._close_circuit and self.circuit is not None
+                and not self.circuit.destroyed):
+            self.circuit.close()

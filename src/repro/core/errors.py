@@ -1,0 +1,27 @@
+"""Bento's exception hierarchy."""
+
+from repro.util.errors import ReproError
+
+
+class BentoError(ReproError):
+    """Base class for Bento-level failures."""
+
+
+class ManifestRejected(BentoError):
+    """The function's manifest asks for more than the node's policy permits."""
+
+
+class TokenInvalid(BentoError):
+    """An unknown, spent, or forged invocation/shutdown token."""
+
+
+class FunctionCrashed(BentoError):
+    """The function raised (or was killed by the sandbox) during execution."""
+
+
+class ImageUnavailable(BentoError):
+    """The requested container image is not offered by this Bento server."""
+
+
+class AttestationRejected(BentoError):
+    """The client refused the server's attestation evidence."""

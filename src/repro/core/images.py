@@ -1,0 +1,84 @@
+"""The standard container images (§5.4).
+
+    "Bento operators are responsible for providing container images ...
+    we envision two standard images that collectively handle a broad set
+    of use cases": the plain *Python* image and *Python-OP-SGX*, which
+    runs the function (plus an optional dedicated Onion Proxy) inside an
+    enclave.
+
+The enclave image's measurement is a public constant, so Bento clients can
+check attestation reports against it without trusting the operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.errors import ImageUnavailable
+from repro.enclave.sgx import EnclaveImage
+
+MB = 1024 * 1024
+
+# The enclave image covers the Bento execution environment: server shim,
+# loader, and Python runtime (§5.4: user functions are NOT part of the
+# measurement).  These bytes stand in for that runtime; what matters is
+# that every honest operator runs the same ones.
+_RUNTIME_CODE = (
+    b"bento-execution-environment\x00"
+    b"components: function-loader, python-3, stem-firewall-shim, "
+    b"optional-onion-proxy\x00"
+    b"version: 1.0.0\x00"
+)
+
+
+@dataclass(frozen=True)
+class ContainerImage:
+    """A named execution environment operators can offer."""
+
+    name: str
+    base_memory: int            # resident footprint before any function
+    uses_enclave: bool
+    enclave_image: Optional[EnclaveImage] = None
+    spawns_onion_proxy: bool = False
+
+    @property
+    def measurement(self) -> Optional[str]:
+        """The expected MRENCLAVE (None for non-enclave images)."""
+        return self.enclave_image.measurement if self.enclave_image else None
+
+
+# §7.3: "The maximum memory usage of a Bento server and Browser is roughly
+# 16-20 MB" — we model the image baseline at 16 MB, functions add their own.
+IMAGE_PYTHON = ContainerImage(
+    name="python",
+    base_memory=16 * MB,
+    uses_enclave=False,
+)
+
+IMAGE_PYTHON_OP_SGX = ContainerImage(
+    name="python-op-sgx",
+    base_memory=16 * MB,
+    uses_enclave=True,
+    enclave_image=EnclaveImage(name="python-op-sgx", code=_RUNTIME_CODE,
+                               version=1),
+    spawns_onion_proxy=True,
+)
+
+_REGISTRY = {image.name: image for image in (IMAGE_PYTHON, IMAGE_PYTHON_OP_SGX)}
+
+
+def image_by_name(name: str) -> ContainerImage:
+    """Look up a standard image; raises :class:`ImageUnavailable`."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ImageUnavailable(f"no such image: {name}") from None
+
+
+def known_measurement(name: str) -> str:
+    """The measurement a client should demand for an enclave image."""
+    image = image_by_name(name)
+    if image.measurement is None:
+        raise ImageUnavailable(f"image {name} is not an enclave image")
+    return image.measurement

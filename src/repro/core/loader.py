@@ -1,0 +1,119 @@
+"""The in-container function loader and runtime.
+
+Client-provided source is executed in a namespace whose only capability is
+the ``api`` object; builtins are reduced to a computational subset and
+``import`` is limited to a small allowlist of pure-computation modules
+(``zlib``, ``math``, ...).  This mirrors the paper's stance: the *code* is
+unconstrained Python, and safety comes from what the environment lets it
+reach (§5.1: "Rather than enforce safety by limiting functions' code
+itself, Bento servers run functions in sandboxes").
+"""
+
+from __future__ import annotations
+
+import builtins as _builtins
+from typing import Any, Callable, Optional
+
+from repro.core.errors import BentoError, FunctionCrashed
+from repro.core.manifest import FunctionManifest
+
+# Pure-computation modules a function may import.  Nothing here touches
+# the filesystem, network, processes, or interpreter internals.
+SAFE_MODULES = frozenset({
+    "zlib", "math", "json", "struct", "hashlib", "base64", "binascii",
+    "string", "re", "itertools", "functools", "collections", "heapq",
+    "bisect", "textwrap", "datetime", "statistics",
+})
+
+_SAFE_BUILTIN_NAMES = (
+    "abs", "all", "any", "ascii", "bin", "bool", "bytearray", "bytes",
+    "callable", "chr", "dict", "divmod", "enumerate", "filter", "float",
+    "format", "frozenset", "hash", "hex", "int", "isinstance", "issubclass",
+    "iter", "len", "list", "map", "max", "min", "next", "object", "oct",
+    "ord", "pow", "print", "range", "repr", "reversed", "round", "set",
+    "slice", "sorted", "str", "sum", "tuple", "zip",
+    # exceptions functions might reasonably raise/catch
+    "ArithmeticError", "AssertionError", "AttributeError", "BaseException",
+    "Exception", "IndexError", "KeyError", "LookupError", "OverflowError",
+    "RuntimeError", "StopIteration", "TypeError", "ValueError",
+    "ZeroDivisionError",
+)
+
+
+class LoaderError(BentoError):
+    """The uploaded source failed to compile, import, or define its entry."""
+
+
+def _make_safe_import() -> Callable:
+    def safe_import(name: str, globals=None, locals=None, fromlist=(), level=0):
+        """Importer restricted to the SAFE_MODULES allowlist."""
+        root = name.split(".")[0]
+        if root not in SAFE_MODULES:
+            raise ImportError(
+                f"import of {name!r} is not permitted inside a Bento function")
+        return _builtins.__import__(name, globals, locals, fromlist, level)
+    return safe_import
+
+
+def build_function_namespace(api) -> dict[str, Any]:
+    """The globals dict uploaded code executes in."""
+    safe_builtins = {name: getattr(_builtins, name)
+                     for name in _SAFE_BUILTIN_NAMES}
+    safe_builtins["__import__"] = _make_safe_import()
+    return {
+        "__builtins__": safe_builtins,
+        "__name__": "bento_function",
+        "api": api,
+    }
+
+
+class FunctionRuntime:
+    """Loads source once, then runs the entry per invocation."""
+
+    def __init__(self, instance, code: str, manifest: FunctionManifest) -> None:
+        self.instance = instance
+        self.code = code
+        self.manifest = manifest
+        self.namespace: Optional[dict] = None
+        self.entry: Optional[Callable] = None
+        self.running = False
+
+    def load(self) -> None:
+        """Compile and execute the module body; locate the entry point."""
+        namespace = build_function_namespace(self.instance.api)
+        try:
+            compiled = compile(self.code, f"<function:{self.manifest.name}>",
+                               "exec")
+            exec(compiled, namespace)  # noqa: S102 - the point of Bento
+        except Exception as exc:
+            raise LoaderError(f"function failed to load: {exc!r}") from exc
+        entry = namespace.get(self.manifest.entry)
+        if not callable(entry):
+            raise LoaderError(
+                f"entry point {self.manifest.entry!r} not found or not callable")
+        self.namespace = namespace
+        self.entry = entry
+
+    def start(self, args: list, peer) -> None:
+        """Run one invocation in its own sim-thread."""
+        if self.entry is None:
+            raise LoaderError("function not loaded")
+        if self.running:
+            raise LoaderError("function already running")
+        self.running = True
+        sim = self.instance.server.sim
+
+        def _run(thread) -> None:
+            api = self.instance.api
+            api._bind(thread, peer)
+            try:
+                result = self.entry(*args)
+            except BaseException as exc:  # noqa: BLE001 - reported to client
+                self.running = False
+                self.instance.on_error(
+                    FunctionCrashed(f"{type(exc).__name__}: {exc}"), peer)
+                return
+            self.running = False
+            self.instance.on_done(result, peer)
+
+        sim.spawn(_run, name=f"fn:{self.manifest.name}")

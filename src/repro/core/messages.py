@@ -1,0 +1,71 @@
+"""The Bento wire protocol.
+
+Every message is a canonical-encoded dict with a ``"type"`` field, carried
+as one frame on a :class:`~repro.netsim.bytestream.FramedStream` (which may
+run over a Tor stream, a hidden-service stream, or a direct connection —
+the protocol does not care).
+
+Client -> server:
+    ``policy_query`` | ``request_image`` | ``load_function`` | ``invoke``
+    | ``msg`` | ``attach`` | ``shutdown``
+Server -> client:
+    ``policy`` | ``image_ready`` | ``loaded`` | ``output`` | ``done``
+    | ``shutdown_ok`` | ``error``
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.util.errors import ProtocolError
+from repro.util.serialization import canonical_decode, canonical_encode
+
+# Client -> server.
+POLICY_QUERY = "policy_query"
+REQUEST_IMAGE = "request_image"
+LOAD_FUNCTION = "load_function"
+INVOKE = "invoke"
+MSG = "msg"                 # an in-band message to a running function
+ATTACH = "attach"           # bind this connection to an invocation token
+SHUTDOWN = "shutdown"
+
+# Server -> client.
+POLICY = "policy"
+IMAGE_READY = "image_ready"
+LOADED = "loaded"
+OUTPUT = "output"           # api.send() from the function
+DONE = "done"               # entry function returned
+SHUTDOWN_OK = "shutdown_ok"
+ERROR = "error"
+
+_CLIENT_TYPES = frozenset({POLICY_QUERY, REQUEST_IMAGE, LOAD_FUNCTION,
+                           INVOKE, MSG, ATTACH, SHUTDOWN})
+_SERVER_TYPES = frozenset({POLICY, IMAGE_READY, LOADED, OUTPUT, DONE,
+                           SHUTDOWN_OK, ERROR})
+
+
+def encode_message(msg_type: str, **fields: Any) -> bytes:
+    """Build one wire frame."""
+    if msg_type not in (_CLIENT_TYPES | _SERVER_TYPES):
+        raise ProtocolError(f"unknown message type: {msg_type}")
+    body = dict(fields)
+    body["type"] = msg_type
+    return canonical_encode(body)
+
+
+def decode_message(frame: bytes) -> dict:
+    """Parse one wire frame; raises :class:`ProtocolError` if malformed."""
+    try:
+        body = canonical_decode(frame)
+    except Exception as exc:
+        raise ProtocolError(f"undecodable message: {exc}") from exc
+    if not isinstance(body, dict) or "type" not in body:
+        raise ProtocolError("message missing type field")
+    if body["type"] not in (_CLIENT_TYPES | _SERVER_TYPES):
+        raise ProtocolError(f"unknown message type: {body['type']}")
+    return body
+
+
+def error_message(reason: str, detail: str = "") -> bytes:
+    """A server-side error frame."""
+    return encode_message(ERROR, reason=reason, detail=detail)

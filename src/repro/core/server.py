@@ -1,0 +1,380 @@
+"""The Bento server (§5.2).
+
+Runs beside an unmodified Tor relay as a separate service on its own port.
+Spawns one container per client function, mediates every resource the
+function touches, issues invocation/shutdown tokens, and (for the SGX
+image) hosts the function inside a conclave with stapled remote
+attestation.
+
+Clients reach the server through Tor: a circuit whose final hop is the
+companion relay, then a stream to the relay's own address on the Bento
+port (the "localhost" exception), or — via
+:meth:`BentoServer.serve_via_hidden_service` — as a hidden service.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.core import messages
+from repro.core.api import FunctionApi
+from repro.core.errors import (
+    BentoError,
+    FunctionCrashed,
+    ImageUnavailable,
+    ManifestRejected,
+    TokenInvalid,
+)
+from repro.core.images import ContainerImage, image_by_name
+from repro.core.loader import FunctionRuntime, LoaderError
+from repro.core.manifest import FunctionManifest
+from repro.core.policy import MiddleboxNodePolicy
+from repro.core.tokens import TokenIssuer, TokenPair
+from repro.enclave.attestation import IntelAttestationService
+from repro.enclave.conclave import Conclave
+from repro.enclave.sgx import EnclaveHost
+from repro.netsim.bytestream import DirectByteStream, FramedStream
+from repro.netsim.connection import Connection
+from repro.netsim.simulator import SimThread
+from repro.sandbox.cgroups import CGroup, ResourceExceeded
+from repro.sandbox.container import Container
+from repro.sandbox.iptables import IptablesRuleset
+from repro.sandbox.memfs import MemFS
+from repro.sandbox.seccomp import SeccompPolicy
+from repro.stemlib.controller import Controller
+from repro.stemlib.firewall import StemFirewall
+from repro.tor.client import TorClient
+from repro.tor.descriptor import BENTO_PORT
+from repro.tor.directory import DirectoryAuthority
+from repro.tor.relay import Relay
+from repro.util.errors import ProtocolError
+from repro.util.serialization import canonical_encode
+
+
+class FunctionInstance:
+    """One loaded function: container + (optional) conclave + runtime."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, server: "BentoServer", image: ContainerImage,
+                 container: Container, conclave: Optional[Conclave],
+                 tokens: TokenPair) -> None:
+        self.server = server
+        self.instance_id = f"fn-{next(self._ids)}"
+        self.image = image
+        self.container = container
+        self.conclave = conclave
+        self.tokens = tokens
+        self.manifest: Optional[FunctionManifest] = None
+        self.runtime: Optional[FunctionRuntime] = None
+        self.firewall: Optional[StemFirewall] = None
+        self.api = FunctionApi(self)
+        self.rng = server.rng.fork(self.instance_id)
+        self.logs: list[str] = []
+        self.terminated = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def load(self, code: str, manifest: FunctionManifest) -> None:
+        """Accept a function after the policy check has passed."""
+        self.manifest = manifest
+        self.container.charge_memory(manifest.memory_bytes)
+        if self.conclave is not None:
+            self.conclave.enclave.grow(manifest.memory_bytes)
+        stem_grant = frozenset(
+            call[len("stem."):] for call in manifest.api_calls
+            if call.startswith("stem."))
+        self.firewall = StemFirewall(self.server.controller, self.instance_id,
+                                     stem_grant)
+        self.runtime = FunctionRuntime(self, code, manifest)
+        self.runtime.load()
+
+    def invoke(self, args: list, peer: FramedStream) -> None:
+        """Start the entry function for one invocation."""
+        if self.terminated:
+            raise TokenInvalid("function already shut down")
+        if self.runtime is None:
+            raise BentoError("no function loaded")
+        if self.runtime.running:
+            # A second invoke while running becomes an in-band message.
+            self.api._push_message(canonical_encode({"args": args}), peer)
+            return
+        self.runtime.start(args, peer)
+
+    def deliver(self, payload: bytes, peer: FramedStream) -> None:
+        """Route an in-band client message to the function's inbox."""
+        if self.terminated:
+            raise TokenInvalid("function already shut down")
+        self.api._push_message(payload, peer)
+
+    def on_done(self, result, peer: FramedStream) -> None:
+        """The entry function returned; report its result to the client."""
+        try:
+            canonical_encode(result)
+            wire_result = result
+        except Exception:
+            wire_result = repr(result)
+        self._safe_send(peer, messages.encode_message(
+            messages.DONE, result=wire_result))
+
+    def on_error(self, error: FunctionCrashed, peer: FramedStream) -> None:
+        """The entry function crashed; report it to the client."""
+        self._safe_send(peer, messages.error_message(
+            "function-crashed", detail=str(error)))
+
+    def _safe_send(self, peer: FramedStream, frame: bytes) -> None:
+        try:
+            peer.send_frame(frame)
+        except Exception:
+            pass  # the client has gone; fate-sharing is explicit in §5.3
+
+    def kill(self, reason: str) -> None:
+        """Terminate (sandbox violation, resource overrun, or shutdown)."""
+        if self.terminated:
+            return
+        self.terminated = True
+        self.api._kill(reason)
+        if self.firewall is not None:
+            self.firewall.release_all()
+        if self.conclave is not None:
+            self.conclave.terminate()
+        self.container.kill(reason)
+        self.server._forget(self)
+
+    @property
+    def memory_footprint(self) -> int:
+        """Total memory charged for this function (§7.3's metric)."""
+        return self.container.memory_used
+
+
+class BentoServer:
+    """The middlebox service co-resident with a Tor relay."""
+
+    def __init__(self, relay: Relay, directory: DirectoryAuthority,
+                 policy: Optional[MiddleboxNodePolicy] = None,
+                 ias: Optional[IntelAttestationService] = None,
+                 enclave_host: Optional[EnclaveHost] = None,
+                 port: int = BENTO_PORT) -> None:
+        self.relay = relay
+        self.node = relay.node
+        self.sim = relay.sim
+        self.network = relay.network
+        self.directory = directory
+        self.port = port
+        self.policy = policy or MiddleboxNodePolicy.open_policy()
+        self.ias = ias
+        self.rng = self.sim.rng.fork(f"bento:{relay.nickname}")
+        if ias is not None and enclave_host is None:
+            enclave_host = EnclaveHost(self.sim, ias,
+                                       rng=self.rng.fork("sgx-host"))
+        self.enclave_host = enclave_host
+        self.host_fs = MemFS()
+        self.root_cgroup = CGroup(
+            f"bento:{relay.nickname}",
+            memory=self.policy.max_total_memory,
+            disk=self.policy.max_total_disk)
+        self.tor_client = TorClient(self.network, self.node, directory,
+                                    fast_crypto=relay.fast_crypto)
+        self.controller = Controller(self.tor_client)
+        self._tokens = TokenIssuer(seed=f"{relay.nickname}:{relay.fingerprint}")
+        self._by_invocation: dict[str, FunctionInstance] = {}
+        self._by_shutdown: dict[str, FunctionInstance] = {}
+        self._container_ids = itertools.count(1)
+        self.onion_address: Optional[str] = None
+
+        # Advertise: the relay's descriptor carries the Bento port (§5.5's
+        # "disseminated as part of the Tor directory").
+        if relay.bento_port != port:
+            relay.bento_port = port
+            relay.register_with(directory)
+        self.node.listen(port, self._accept)
+
+    # -- transport ---------------------------------------------------------
+
+    def _accept(self, conn: Connection) -> None:
+        framed = FramedStream(DirectByteStream(conn, self.node))
+        self.sim.spawn(self._serve, framed, name=f"bento:{self.relay.nickname}")
+
+    def serve_via_hidden_service(self, thread: SimThread,
+                                 n_intro: int = 3) -> str:
+        """Also expose this server as a hidden service; returns the onion
+        address (the paper's alternative access path, §5)."""
+        def _handler(stream, _host, _port) -> None:
+            framed = FramedStream(stream)
+            self.sim.spawn(self._serve, framed,
+                           name=f"bento-hs:{self.relay.nickname}")
+
+        service = self.controller.create_hidden_service(thread, _handler)
+        self.onion_address = str(service.onion_address)
+        return self.onion_address
+
+    def _serve(self, thread: SimThread, framed: FramedStream) -> None:
+        while True:
+            try:
+                frame = framed.recv_frame(thread, timeout=3600.0)
+            except Exception:
+                break
+            if frame is None:
+                break
+            try:
+                message = messages.decode_message(frame)
+            except ProtocolError as exc:
+                framed.send_frame(messages.error_message("bad-message",
+                                                         detail=str(exc)))
+                continue
+            try:
+                self._dispatch(thread, framed, message)
+            except TokenInvalid as exc:
+                framed.send_frame(messages.error_message("bad-token",
+                                                         detail=str(exc)))
+            except ManifestRejected as exc:
+                framed.send_frame(messages.error_message("manifest-rejected",
+                                                         detail=str(exc)))
+            except (BentoError, ResourceExceeded, LoaderError) as exc:
+                framed.send_frame(messages.error_message("request-failed",
+                                                         detail=str(exc)))
+
+    def _dispatch(self, thread: SimThread, framed: FramedStream,
+                  message: dict) -> None:
+        msg_type = message["type"]
+        if msg_type == messages.POLICY_QUERY:
+            framed.send_frame(messages.encode_message(
+                messages.POLICY, policy=self.policy.to_wire()))
+        elif msg_type == messages.REQUEST_IMAGE:
+            self._handle_request_image(thread, framed, message)
+        elif msg_type == messages.LOAD_FUNCTION:
+            self._handle_load(framed, message)
+        elif msg_type == messages.INVOKE:
+            instance = self._instance_for_invocation(message.get("token", ""))
+            instance.invoke(list(message.get("args", [])), framed)
+        elif msg_type == messages.MSG:
+            instance = self._instance_for_invocation(message.get("token", ""))
+            instance.deliver(message.get("payload", b""), framed)
+        elif msg_type == messages.ATTACH:
+            self._instance_for_invocation(message.get("token", ""))
+            framed.send_frame(messages.encode_message(messages.LOADED, ok=True))
+        elif msg_type == messages.SHUTDOWN:
+            self._handle_shutdown(framed, message)
+        else:
+            framed.send_frame(messages.error_message(
+                "unexpected-type", detail=msg_type))
+
+    # -- handlers ---------------------------------------------------------------
+
+    def _handle_request_image(self, thread: SimThread, framed: FramedStream,
+                              message: dict) -> None:
+        image = image_by_name(message.get("image", "python"))
+        if image.name not in self.policy.offered_images:
+            raise ImageUnavailable(f"operator does not offer {image.name}")
+        if len(self._by_invocation) >= self.policy.max_containers:
+            raise BentoError("container limit reached")
+
+        container = Container(
+            container_id=f"c{next(self._container_ids)}",
+            host_fs=self.host_fs,
+            parent_cgroup=self.root_cgroup,
+            seccomp=SeccompPolicy(self.policy.allowed_syscalls),
+            iptables=IptablesRuleset.from_exit_policy(
+                self.relay.exit_policy, self.node.address,
+                loopback_ports=(self.port,)),
+            memory_limit=self.policy.max_function_memory + image.base_memory,
+            disk_limit=self.policy.max_function_disk,
+        )
+        container.start(base_memory=image.base_memory)
+
+        conclave = None
+        reply_fields: dict = {}
+        if image.uses_enclave:
+            if self.enclave_host is None or self.ias is None:
+                container.kill("no SGX support")
+                raise ImageUnavailable("operator lacks SGX support")
+            conclave = Conclave(self.enclave_host, image.enclave_image,
+                                container.fs, self.rng.fork("conclave"),
+                                heap_bytes=image.base_memory)
+            enclave_pub = conclave.begin_channel()
+            quote = conclave.quote_for_channel(enclave_pub)
+            # Staple the IAS report, like OCSP stapling (§5.4): one WAN
+            # round trip to Intel, paid by the server, not the client.
+            thread.sleep(2.0 * self.ias.latency_s)
+            report = self.ias.verify_quote(quote, now=self.sim.now)
+            reply_fields.update({
+                "quote": quote.to_wire(),
+                "report": report.to_wire(),
+                "enclave_pub": enclave_pub,
+                "measurement": conclave.measurement,
+            })
+
+        tokens = self._tokens.issue()
+        instance = FunctionInstance(self, image, container, conclave, tokens)
+        self._by_invocation[tokens.invocation] = instance
+        self._by_shutdown[tokens.shutdown] = instance
+        framed.send_frame(messages.encode_message(
+            messages.IMAGE_READY,
+            container_id=instance.instance_id,
+            invocation=tokens.invocation,
+            shutdown=tokens.shutdown,
+            image=image.name,
+            **reply_fields))
+
+    def _handle_load(self, framed: FramedStream, message: dict) -> None:
+        instance = self._instance_for_invocation(message.get("token", ""))
+        manifest = FunctionManifest.from_wire(message["manifest"])
+        reason = self.policy.rejection_reason(manifest)
+        if reason is not None:
+            raise ManifestRejected(reason)
+        if manifest.image != instance.image.name:
+            raise ManifestRejected(
+                f"manifest image {manifest.image!r} does not match container "
+                f"image {instance.image.name!r}")
+
+        if "sealed_code" in message:
+            if instance.conclave is None:
+                raise BentoError("sealed upload requires the enclave image")
+            channel = instance.conclave.complete_channel(message["client_pub"])
+            code = channel.open(message["sealed_code"]).decode("utf-8")
+        else:
+            code = message["code"]
+
+        instance.load(code, manifest)
+        for path, data in dict(message.get("data", {})).items():
+            # Initial data files ride along with the upload (§5.4: "the
+            # Bento client then uploads the function, and any associated
+            # data to copy to FS Protect").
+            fs = (instance.conclave.fs if instance.conclave is not None
+                  else instance.container.fs)
+            instance.container.cgroup.charge("disk", len(data))
+            fs.write_file(path, data)
+        framed.send_frame(messages.encode_message(messages.LOADED, ok=True))
+
+    def _handle_shutdown(self, framed: FramedStream, message: dict) -> None:
+        token = message.get("token", "")
+        instance = self._by_shutdown.get(token)
+        if instance is None:
+            raise TokenInvalid("unknown shutdown token")
+        instance.kill("shutdown by owner")
+        framed.send_frame(messages.encode_message(messages.SHUTDOWN_OK))
+
+    # -- registry -----------------------------------------------------------------
+
+    def _instance_for_invocation(self, token: str) -> FunctionInstance:
+        instance = self._by_invocation.get(token)
+        if instance is None:
+            raise TokenInvalid("unknown invocation token")
+        return instance
+
+    def _forget(self, instance: FunctionInstance) -> None:
+        self._by_invocation.pop(instance.tokens.invocation, None)
+        self._by_shutdown.pop(instance.tokens.shutdown, None)
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def active_function_count(self) -> int:
+        """Live function instances on this server."""
+        return len(self._by_invocation)
+
+    @property
+    def total_memory_used(self) -> int:
+        """Aggregate memory charged across all containers."""
+        return self.root_cgroup.usage["memory"]

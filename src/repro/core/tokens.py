@@ -1,0 +1,102 @@
+"""Invocation and shutdown tokens (§5.3), plus the blinded variant.
+
+    "The server spawns the container and returns to the client two tokens:
+    an invocation token and a shutdown token. ... The distinction ...
+    allows a client to share the invocation token (and thus, use of the
+    function) with other users while retaining exclusive shutdown rights."
+
+Plain tokens are capability strings minted by the server.  The blinded
+scheme (footnote 3: "tokens can be blinded, especially with the use of an
+enclave") is also implemented: the client mints the token value itself and
+gets it blind-signed, so the server can later *verify* a presented token
+without being able to link it to the session that obtained it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey
+from repro.util.idgen import IdGenerator
+from repro.util.rng import DeterministicRandom
+
+
+@dataclass(frozen=True)
+class TokenPair:
+    """The two capabilities returned on container creation."""
+
+    invocation: str
+    shutdown: str
+
+
+class TokenIssuer:
+    """Server-side mint for plain (unlinkable-enough) random tokens."""
+
+    def __init__(self, seed: str) -> None:
+        self._ids = IdGenerator(f"tokens:{seed}")
+
+    def issue(self) -> TokenPair:
+        """Mint a fresh invocation/shutdown token pair."""
+        return TokenPair(invocation=f"inv-{self._ids.next_hex(16)}",
+                         shutdown=f"sd-{self._ids.next_hex(16)}")
+
+
+class BlindTokenIssuer:
+    """Server side of Chaum-blinded tokens.
+
+    The server signs blinded token values at container-creation time and
+    later accepts any ``(value, signature)`` pair that verifies and has not
+    been spent — without ever having seen ``value`` before.
+    """
+
+    def __init__(self, rng: DeterministicRandom, key_bits: int = 512) -> None:
+        self._keypair = RsaKeyPair.generate(rng.fork("blind-token-key"),
+                                            bits=key_bits)
+        self._spent: set[bytes] = set()
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        """The verification key peers should pin."""
+        return self._keypair.public
+
+    def sign_blinded(self, blinded: int) -> int:
+        """Blind-sign a value (the server learns nothing about it)."""
+        return self._keypair.blind_sign(blinded)
+
+    def redeem(self, value: bytes, signature: bytes) -> bool:
+        """Accept a token once: valid signature and not previously spent."""
+        if value in self._spent:
+            return False
+        if not self._keypair.public.verify(value, signature):
+            return False
+        self._spent.add(value)
+        return True
+
+
+@dataclass
+class BlindToken:
+    """A client-held unlinkable token."""
+
+    value: bytes
+    signature: bytes
+
+
+class BlindTokenWallet:
+    """Client side: mint values, blind them, unblind the signatures."""
+
+    def __init__(self, rng: DeterministicRandom, issuer_key: RsaPublicKey) -> None:
+        self._rng = rng
+        self._issuer_key = issuer_key
+
+    def prepare(self) -> tuple[bytes, int, int]:
+        """Returns ``(value, blinded, unblinder)``; send ``blinded`` off
+        to the issuer."""
+        value = self._rng.randbytes(20)
+        blinded, unblinder = self._issuer_key.blind(value, self._rng)
+        return value, blinded, unblinder
+
+    def finish(self, value: bytes, blind_signature: int,
+               unblinder: int) -> BlindToken:
+        """Unblind the issuer's response into a spendable token."""
+        signature = self._issuer_key.unblind(blind_signature, unblinder)
+        return BlindToken(value=value, signature=signature)

@@ -1,0 +1,54 @@
+"""A SHA-256 counter-mode stream cipher.
+
+Stands in for AES-CTR in the circuit onion layers and FS Protect.  The
+keystream is ``SHA256(key || nonce || counter)`` blocks; like AES-CTR it is
+a stateful XOR stream, so encrypt and decrypt are the same operation and
+each (key, nonce) pair must never be reused for independent messages.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+_BLOCK = 32
+
+
+class StreamCipher:
+    """Stateful XOR stream cipher.
+
+    Two endpoints construct a :class:`StreamCipher` with the same key and
+    nonce and stay synchronised by processing the same byte sequence, just
+    like the per-hop AES-CTR state in a real Tor circuit.
+    """
+
+    def __init__(self, key: bytes, nonce: bytes = b"") -> None:
+        if len(key) < 16:
+            raise ValueError("stream cipher key must be at least 16 bytes")
+        self._prefix = hashlib.sha256(b"stream:" + key + b":" + nonce).digest()
+        self._counter = 0
+        self._buffer = b""
+
+    def _refill(self) -> None:
+        block = hashlib.sha256(
+            self._prefix + self._counter.to_bytes(8, "big")
+        ).digest()
+        self._counter += 1
+        self._buffer += block
+
+    def keystream(self, n: int) -> bytes:
+        """Return the next ``n`` keystream bytes, advancing the state."""
+        while len(self._buffer) < n:
+            self._refill()
+        out, self._buffer = self._buffer[:n], self._buffer[n:]
+        return out
+
+    def process(self, data: bytes) -> bytes:
+        """Encrypt or decrypt ``data`` (XOR with the next keystream bytes)."""
+        ks = self.keystream(len(data))
+        n = len(data)
+        return (int.from_bytes(data, "big") ^ int.from_bytes(ks, "big")).to_bytes(n, "big") if n else b""
+
+
+def stream_xor(key: bytes, nonce: bytes, data: bytes) -> bytes:
+    """One-shot encryption/decryption with a fresh cipher state."""
+    return StreamCipher(key, nonce).process(data)

@@ -1,0 +1,62 @@
+"""The simulated trusted-execution substrate (Intel SGX + conclaves).
+
+The paper runs functions inside *conclaves* ("containers of enclaves",
+Herwig et al. 2020) on SGX hardware.  Offline reproduction cannot use real
+SGX, so this package models the pieces Bento's guarantees rest on, with the
+*checks* performed for real:
+
+* :mod:`~repro.enclave.sgx` -- enclaves with code measurement and the EPC
+  memory model (128 MiB total, 93 MiB usable, paging overhead when
+  oversubscribed — the numbers §7.3 analyses),
+* :mod:`~repro.enclave.attestation` -- quotes signed by per-platform keys
+  and a simulated Intel Attestation Service issuing RSA-signed reports with
+  TCB status (supporting both client-verified and OCSP-style stapled
+  verification, §5.4),
+* :mod:`~repro.enclave.sealing` -- measurement-bound sealed storage,
+* :mod:`~repro.enclave.fsprotect` -- the encrypted filesystem with an
+  ephemeral in-enclave key ("FS Protect"),
+* :mod:`~repro.enclave.conclave` -- the conclave bundling an app enclave,
+  FS Protect, and the attested secure channel to the function loader.
+"""
+
+from repro.enclave.sgx import (
+    EPC_TOTAL_BYTES,
+    EPC_USABLE_BYTES,
+    Enclave,
+    EnclaveError,
+    EnclaveHost,
+    EnclaveImage,
+)
+from repro.enclave.attestation import (
+    AttestationError,
+    AttestationReport,
+    IntelAttestationService,
+    Quote,
+    TCB_STATUS_OK,
+    TCB_STATUS_OUT_OF_DATE,
+)
+from repro.enclave.sealing import seal_data, unseal_data, SealingError
+from repro.enclave.fsprotect import FSProtect
+from repro.enclave.conclave import Conclave, ConclaveError, SecureChannel
+
+__all__ = [
+    "EPC_TOTAL_BYTES",
+    "EPC_USABLE_BYTES",
+    "Enclave",
+    "EnclaveError",
+    "EnclaveHost",
+    "EnclaveImage",
+    "Quote",
+    "AttestationReport",
+    "AttestationError",
+    "IntelAttestationService",
+    "TCB_STATUS_OK",
+    "TCB_STATUS_OUT_OF_DATE",
+    "seal_data",
+    "unseal_data",
+    "SealingError",
+    "FSProtect",
+    "Conclave",
+    "ConclaveError",
+    "SecureChannel",
+]

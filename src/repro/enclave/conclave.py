@@ -1,0 +1,135 @@
+"""Conclaves: the container-of-enclaves hosting a function (§5.4).
+
+A :class:`Conclave` bundles:
+
+* an application enclave holding the Bento execution environment
+  (launched from a named :class:`~repro.enclave.sgx.EnclaveImage`),
+* FS Protect mounted over the container's chroot with a fresh ephemeral
+  key,
+* quote generation for remote attestation, and
+* the attested :class:`SecureChannel` the Bento client uses to upload its
+  function ("the Bento client attests the container's image and
+  establishes a secure TLS channel to the container's function loader").
+
+The per-conclave memory overhead (7.3 MB, §7.3) is charged against the
+host's EPC alongside the function's own footprint.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.crypto.aead import AeadError, AeadKey
+from repro.crypto.dh import DiffieHellman
+from repro.crypto.kdf import hkdf
+from repro.enclave.attestation import AttestationReport
+from repro.enclave.fsprotect import FSProtect
+from repro.enclave.sgx import Enclave, EnclaveHost, EnclaveImage
+from repro.sandbox.memfs import ChrootView
+from repro.util.errors import ReproError
+from repro.util.rng import DeterministicRandom
+
+CONCLAVE_OVERHEAD_BYTES = int(7.3 * 1024 * 1024)   # §7.3's measured figure
+
+
+class ConclaveError(ReproError):
+    """Launch and channel-establishment failures."""
+
+
+class SecureChannel:
+    """An AEAD channel keyed by an attested DH exchange.
+
+    The enclave's DH public value rides in the quote's ``report_data``, so
+    a verified attestation report transitively authenticates the channel:
+    whoever holds the other end is *inside* the measured enclave.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, shared_secret: bytes) -> None:
+        self._key = AeadKey(hkdf(shared_secret, info=b"conclave-channel"))
+        self._send_seq = 0
+        self._recv_seq = 0
+
+    def seal(self, plaintext: bytes) -> bytes:
+        """Encrypt and authenticate one message (sequenced nonce)."""
+        nonce = self._send_seq.to_bytes(8, "big")
+        self._send_seq += 1
+        return self._key.seal(nonce, plaintext)
+
+    def open(self, ciphertext: bytes) -> bytes:
+        """Verify and decrypt the peer's next message."""
+        nonce = self._recv_seq.to_bytes(8, "big")
+        self._recv_seq += 1
+        try:
+            return self._key.open(nonce, ciphertext)
+        except AeadError as exc:
+            raise ConclaveError("secure channel authentication failed") from exc
+
+
+class Conclave:
+    """One function's trusted execution environment."""
+
+    def __init__(self, host: EnclaveHost, image: EnclaveImage,
+                 backing_fs: ChrootView, rng: DeterministicRandom,
+                 heap_bytes: int) -> None:
+        self._rng = rng
+        self.enclave: Enclave = host.launch(
+            image, heap_bytes=heap_bytes + CONCLAVE_OVERHEAD_BYTES)
+        # The ephemeral FS-Protect key lives (and dies) inside the enclave.
+        self._fs_key = rng.randbytes(32)
+        self.fs = FSProtect(backing_fs, self._fs_key)
+        self._dh: Optional[DiffieHellman] = None
+        self.channel: Optional[SecureChannel] = None
+
+    @property
+    def measurement(self) -> str:
+        """The enclave's MRENCLAVE."""
+        return self.enclave.measurement
+
+    # -- attestation + channel establishment ------------------------------------
+
+    def begin_channel(self) -> bytes:
+        """Start a key exchange; returns the enclave's DH public value,
+        which the caller should bind into a quote's report_data."""
+        self._dh = DiffieHellman(self._rng.fork("channel"))
+        return self._dh.public_bytes
+
+    def quote_for_channel(self, channel_public: bytes):
+        """A quote with the channel public value as report data."""
+        return self.enclave.quote(report_data=channel_public)
+
+    def complete_channel(self, peer_public: bytes) -> SecureChannel:
+        """Finish the exchange (enclave side)."""
+        if self._dh is None:
+            raise ConclaveError("begin_channel must be called first")
+        self.channel = SecureChannel(self._dh.shared_secret(peer_public))
+        return self.channel
+
+    @staticmethod
+    def client_channel(rng: DeterministicRandom,
+                       report: AttestationReport,
+                       ias_key, expected_measurement: str
+                       ) -> tuple["SecureChannel", bytes]:
+        """Client side: verify the report, then key a channel against the
+        DH value it vouches for.  Returns (channel, client_public)."""
+        if not report.verify(ias_key, expected_measurement=expected_measurement):
+            raise ConclaveError("attestation report rejected")
+        dh = DiffieHellman(rng.fork("client-channel"))
+        channel = SecureChannel(dh.shared_secret(report.quote.report_data))
+        return channel, dh.public_bytes
+
+    # -- runtime costs -----------------------------------------------------------
+
+    def invoke_cost(self) -> float:
+        """Simulated latency of entering the enclave once."""
+        return self.enclave.invoke_cost()
+
+    def terminate(self) -> None:
+        """Destroy the enclave; the FS-Protect key is gone forever, so the
+        ciphertext left on disk is permanently unreadable (the operator's
+        plausible deniability)."""
+        self.enclave.terminate()
+        self._fs_key = b""
+        self.channel = None

@@ -1,0 +1,30 @@
+"""Sealed storage: data bound to (enclave measurement, platform).
+
+Only the same enclave code on the same platform can unseal — the property
+real SGX derives from its fused sealing keys, reproduced here with real
+AEAD under a key derived from the platform secret and the measurement.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aead import AeadError, AeadKey
+from repro.util.errors import ReproError
+
+_SEAL_NONCE = b"sgx-seal"
+
+
+class SealingError(ReproError):
+    """Unsealing with the wrong enclave/platform key."""
+
+
+def seal_data(sealing_key: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+    """Seal ``plaintext`` under an enclave's sealing key."""
+    return AeadKey(sealing_key).seal(_SEAL_NONCE, plaintext, aad=aad)
+
+
+def unseal_data(sealing_key: bytes, sealed: bytes, aad: bytes = b"") -> bytes:
+    """Unseal; raises :class:`SealingError` if the key (or data) is wrong."""
+    try:
+        return AeadKey(sealing_key).open(_SEAL_NONCE, sealed, aad=aad)
+    except AeadError as exc:
+        raise SealingError("unsealing failed (wrong enclave or platform)") from exc

@@ -1,0 +1,193 @@
+"""Closed-world website classifiers (the Deep Fingerprinting stand-in).
+
+Two numpy models sharing a fit/predict interface:
+
+* :class:`KnnClassifier` -- standardized k-nearest-neighbours; strong on
+  these traces and fully deterministic (the default attacker).
+* :class:`SoftmaxClassifier` -- a one-layer softmax trained by gradient
+  descent; the closest dependency-free relative of the DF CNN's final
+  layer.
+
+Both consume the CUMUL feature vectors from
+:mod:`repro.fingerprint.features`.  DESIGN.md §2 explains why a classical
+attacker suffices: the Browser defense collapses the traffic *shape*, so
+its effect shows up in any competent classifier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import DeterministicRandom
+
+
+class _Standardizer:
+    """Per-feature z-scoring fitted on the training set."""
+
+    def fit(self, X: np.ndarray) -> None:
+        """Train on (X, y); returns self."""
+        self.mean = X.mean(axis=0)
+        self.std = X.std(axis=0)
+        self.std[self.std < 1e-12] = 1.0
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Apply the fitted scaling."""
+        return (X - self.mean) / self.std
+
+
+class KnnClassifier:
+    """k-NN over standardized features (Euclidean)."""
+
+    def __init__(self, k: int = 3) -> None:
+        self.k = k
+        self._scaler = _Standardizer()
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KnnClassifier":
+        """Train on (X, y); returns self."""
+        self._scaler.fit(X)
+        self._X = self._scaler.transform(X)
+        self._y = np.asarray(y)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted labels for each row of X."""
+        Xs = self._scaler.transform(np.atleast_2d(X))
+        # Pairwise squared distances without materializing the difference
+        # tensor: |a-b|^2 = |a|^2 + |b|^2 - 2ab.
+        d2 = (np.square(Xs).sum(axis=1)[:, None]
+              + np.square(self._X).sum(axis=1)[None, :]
+              - 2.0 * Xs @ self._X.T)
+        k = min(self.k, len(self._y))
+        nearest = np.argpartition(d2, k - 1, axis=1)[:, :k]
+        votes = self._y[nearest]
+        out = np.empty(len(Xs), dtype=self._y.dtype)
+        for i, row in enumerate(votes):
+            values, counts = np.unique(row, return_counts=True)
+            out[i] = values[np.argmax(counts)]
+        return out
+
+
+class SoftmaxClassifier:
+    """One-layer softmax regression with L2, full-batch gradient descent."""
+
+    def __init__(self, epochs: int = 300, learning_rate: float = 0.5,
+                 l2: float = 1e-4, seed: int = 0) -> None:
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.seed = seed
+        self._scaler = _Standardizer()
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "SoftmaxClassifier":
+        """Train on (X, y); returns self."""
+        self._scaler.fit(X)
+        Xs = self._scaler.transform(X)
+        self.classes_, y_index = np.unique(y, return_inverse=True)
+        n, d = Xs.shape
+        c = len(self.classes_)
+        rng = np.random.default_rng(self.seed)
+        self.W = rng.normal(0, 0.01, size=(d, c))
+        self.b = np.zeros(c)
+        onehot = np.zeros((n, c))
+        onehot[np.arange(n), y_index] = 1.0
+        for _ in range(self.epochs):
+            logits = Xs @ self.W + self.b
+            logits -= logits.max(axis=1, keepdims=True)
+            expl = np.exp(logits)
+            probs = expl / expl.sum(axis=1, keepdims=True)
+            grad = (probs - onehot) / n
+            self.W -= self.learning_rate * (Xs.T @ grad + self.l2 * self.W)
+            self.b -= self.learning_rate * grad.sum(axis=0)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted labels for each row of X."""
+        Xs = self._scaler.transform(np.atleast_2d(X))
+        logits = Xs @ self.W + self.b
+        return self.classes_[np.argmax(logits, axis=1)]
+
+
+def confusion_matrix(classifier, X: np.ndarray, y: np.ndarray,
+                     train_fraction: float = 0.7,
+                     seed: int | str = "split") -> tuple[np.ndarray, np.ndarray]:
+    """Stratified split -> (labels, counts) confusion matrix.
+
+    ``counts[i, j]`` is the number of test traces of site ``labels[i]``
+    predicted as site ``labels[j]`` — the per-site view behind the
+    aggregate accuracy (which sites a defense actually protects).
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    train_idx, test_idx = _stratified_indices(y, train_fraction, seed)
+    classifier.fit(X[train_idx], y[train_idx])
+    predictions = classifier.predict(X[test_idx])
+    labels = np.unique(y)
+    index_of = {label: i for i, label in enumerate(labels)}
+    counts = np.zeros((len(labels), len(labels)), dtype=np.int64)
+    for truth, predicted in zip(y[test_idx], predictions):
+        counts[index_of[truth], index_of[predicted]] += 1
+    return labels, counts
+
+
+def evaluate_open_world(classifier, X: np.ndarray, y: np.ndarray,
+                        monitored: set, threshold_frac: float = 0.5,
+                        train_fraction: float = 0.7,
+                        seed: int | str = "ow-split") -> dict:
+    """Open-world evaluation: the attacker monitors a subset of sites.
+
+    Unmonitored traces are labelled as a single background class for
+    training; returns true/false-positive rates for "visited a monitored
+    site" plus the closed-world accuracy on monitored traffic.  This is
+    the evaluation regime most WF papers report alongside Table-1-style
+    closed-world numbers.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    background = -1
+    collapsed = np.where(np.isin(y, sorted(monitored)), y, background)
+    train_idx, test_idx = _stratified_indices(collapsed, train_fraction, seed)
+    classifier.fit(X[train_idx], collapsed[train_idx])
+    predictions = classifier.predict(X[test_idx])
+    truth = collapsed[test_idx]
+    monitored_mask = truth != background
+    flagged = predictions != background
+    tpr = (float(np.mean(flagged[monitored_mask]))
+           if monitored_mask.any() else 0.0)
+    fpr = (float(np.mean(flagged[~monitored_mask]))
+           if (~monitored_mask).any() else 0.0)
+    correct_site = predictions[monitored_mask] == truth[monitored_mask]
+    return {"tpr": tpr, "fpr": fpr,
+            "monitored_accuracy": (float(np.mean(correct_site))
+                                   if monitored_mask.any() else 0.0)}
+
+
+def _stratified_indices(y: np.ndarray, train_fraction: float,
+                        seed: int | str) -> tuple[list[int], list[int]]:
+    rng = DeterministicRandom(seed)
+    train_idx: list[int] = []
+    test_idx: list[int] = []
+    for label in np.unique(y):
+        indices = list(np.nonzero(y == label)[0])
+        rng.shuffle(indices)
+        n_train = max(1, int(round(len(indices) * train_fraction)))
+        train_idx += indices[:n_train]
+        test_idx += indices[n_train:]
+    if not test_idx:
+        raise ValueError("no test samples; need >1 visit per site")
+    return train_idx, test_idx
+
+
+def evaluate_split(classifier, X: np.ndarray, y: np.ndarray,
+                   train_fraction: float = 0.7,
+                   seed: int | str = "split") -> float:
+    """Stratified train/test split -> test accuracy.
+
+    Every class contributes at least one training sample; classes with a
+    single sample go to training only (they cannot be tested fairly).
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    train_idx, test_idx = _stratified_indices(y, train_fraction, seed)
+    classifier.fit(X[train_idx], y[train_idx])
+    predictions = classifier.predict(X[test_idx])
+    return float(np.mean(predictions == y[test_idx]))

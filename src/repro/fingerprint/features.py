@@ -1,0 +1,45 @@
+"""Trace features: the CUMUL representation plus summary statistics.
+
+CUMUL (Panchenko et al.) interpolates the cumulative sum of signed packet
+sizes at fixed positions — a compact curve that captures both volume and
+the request/response interleaving pattern that fingerprinting attacks
+exploit.  We append totals, counts, and duration, which are the features
+padding defenses most directly target.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netsim.trace import INCOMING, PacketRecord
+
+N_CUMUL_POINTS = 100
+
+
+def extract_features(records: list[PacketRecord],
+                     n_points: int = N_CUMUL_POINTS) -> np.ndarray:
+    """One trace -> one feature vector of ``n_points + 5`` floats."""
+    if not records:
+        return np.zeros(n_points + 5, dtype=np.float64)
+    signed = np.array([r.direction * r.size for r in records], dtype=np.float64)
+    cumulative = np.cumsum(signed)
+    positions = np.linspace(0, len(cumulative) - 1, n_points)
+    curve = np.interp(positions, np.arange(len(cumulative)), cumulative)
+
+    sizes = np.array([r.size for r in records], dtype=np.float64)
+    directions = np.array([r.direction for r in records])
+    times = np.array([r.time for r in records])
+    total_in = float(sizes[directions == INCOMING].sum())
+    total_out = float(sizes[directions != INCOMING].sum())
+    count_in = float((directions == INCOMING).sum())
+    count_out = float((directions != INCOMING).sum())
+    duration = float(times.max() - times.min())
+    summary = np.array([total_in, total_out, count_in, count_out, duration])
+    return np.concatenate([curve, summary])
+
+
+def features_matrix(traces: list[list[PacketRecord]],
+                    n_points: int = N_CUMUL_POINTS) -> np.ndarray:
+    """Stack per-trace feature vectors into an (n, d) matrix."""
+    return np.vstack([extract_features(records, n_points=n_points)
+                      for records in traces])

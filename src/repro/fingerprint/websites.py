@@ -1,0 +1,83 @@
+"""A synthetic corpus standing in for the Alexa-100 sites (§7.3).
+
+Each site gets a deterministic set of resources: an index page listing
+subresource paths (the format the Browser function and the standard-Tor
+client both crawl) plus the resources themselves.  Sizes follow a
+log-normal-ish distribution calibrated to web-page-size studies (median
+page weight around 1-2 MB spread over a handful to dozens of resources).
+Bodies are pseudorandom (incompressible), so compression in the Browser
+pipeline behaves like it does on real (already-compressed) web media.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.util.rng import DeterministicRandom
+
+KB = 1024
+
+
+@dataclass
+class SiteSpec:
+    """One synthetic website."""
+
+    index: int
+    hostname: str
+    resource_sizes: list[int] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total page weight across all resources."""
+        return sum(self.resource_sizes)
+
+    @property
+    def index_page(self) -> bytes:
+        """The crawlable index listing every subresource path."""
+        lines = [f"<!-- site {self.index} -->"]
+        lines += [f"/r{j}" for j in range(len(self.resource_sizes) - 1)]
+        return "\n".join(lines).encode()
+
+    def resources(self, rng: DeterministicRandom) -> dict[str, bytes]:
+        """Materialize paths -> bodies (index page + pseudorandom blobs)."""
+        bodies: dict[str, bytes] = {}
+        padding = max(0, self.resource_sizes[0] - len(self.index_page))
+        bodies["/"] = self.index_page + rng.randbytes(padding)
+        for j, size in enumerate(self.resource_sizes[1:]):
+            bodies[f"/r{j}"] = rng.randbytes(size)
+        return bodies
+
+
+def build_corpus(n_sites: int = 100, seed: int | str = "corpus",
+                 min_total: int = 40 * KB,
+                 max_total: int = 4_000 * KB) -> list[SiteSpec]:
+    """Generate ``n_sites`` deterministic site specifications.
+
+    Totals are log-normal (clipped to ``[min_total, max_total]``) around a
+    median a third of the way up the range — real page weights cluster,
+    which is what makes *total size alone* an ambiguous fingerprint while
+    per-resource patterns stay distinctive.  Resource counts grow with
+    page weight (big pages have many subresources).
+    """
+    rng = DeterministicRandom(seed)
+    median = math.exp(math.log(min_total)
+                      + (math.log(max_total) - math.log(min_total)) / 3.0)
+    sites: list[SiteSpec] = []
+    for index in range(n_sites):
+        site_rng = rng.fork(f"site{index}")
+        log_total = site_rng.gauss(math.log(median), 0.8)
+        total = int(max(min_total, min(max_total, math.exp(log_total))))
+        n_resources = max(2, int(2 + (total / max_total) * 28
+                                 + site_rng.uniform(0, 6)))
+        # Split the total across resources with random proportions.
+        cuts = sorted(site_rng.random() for _ in range(n_resources - 1))
+        fractions = []
+        last = 0.0
+        for cut in cuts + [1.0]:
+            fractions.append(cut - last)
+            last = cut
+        sizes = [max(2 * KB, int(total * fraction)) for fraction in fractions]
+        sites.append(SiteSpec(index=index, hostname=f"site{index}.web",
+                              resource_sizes=sizes))
+    return sites

@@ -1,0 +1,313 @@
+"""LoadBalancer: autoscaling hidden-service replicas (§8).
+
+    "LoadBalancer establishes introduction points and listens for clients'
+    incoming requests to join them at a rendezvous point.  However, rather
+    than connect to the rendezvous point itself, LoadBalancer chooses from
+    a set of replicas (or spins up a new replica) and instructs the
+    replica to connect to the rendezvous point on its behalf.  To create a
+    replica, the LoadBalancer copies all files (including the hostname and
+    private key) to the new instance ... LoadBalancer receives periodic
+    messages from replicas describing their load, and uses high- and
+    low-watermark thresholds to determine when to create or remove a
+    replica."
+
+Two uploaded artifacts: the balancer and the replica it clones itself
+into.  Content is served over hidden-service streams with a tiny
+length-prefixed GET protocol; clients hold their stream open (ending with
+``DONE``) so "active" counts reflect live downloads.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.manifest import FunctionManifest
+from repro.netsim.simulator import SimThread
+from repro.tor.client import TorClient
+
+MB = 1024 * 1024
+
+# The serving logic both the balancer (locally) and every replica run.
+_SERVE_SNIPPET = r'''
+def _make_handler(content, state):
+    def handler(stream, host, port):
+        state["active"] += 1
+        try:
+            request = stream.recv(timeout=300.0)
+            if request[:3] == b"GET":
+                stream.send(len(content).to_bytes(8, "big") + content)
+                while True:
+                    mark = stream.recv(timeout=3600.0)
+                    if mark == b"" or mark[:4] == b"DONE":
+                        break
+                state["served"] += 1
+        except Exception:
+            pass
+        state["active"] -= 1
+        stream.close()
+    return handler
+'''
+
+REPLICA_SOURCE = r'''
+import json
+''' + _SERVE_SNIPPET + r'''
+
+def replica(key_material, expected_bytes):
+    content = api.recv(timeout=300.0)
+    api.log("replica: holding %d bytes" % len(content))
+    state = {"active": 0, "served": 0}
+    service = api.stem.create_hidden_service(
+        _make_handler(content, state),
+        key_material=key_material, establish=False)
+    api.send(b'{"ready": true}')
+    while True:
+        raw = api.recv()
+        try:
+            request = json.loads(raw.decode("utf-8"))
+        except Exception:
+            continue
+        op = request.get("op")
+        if op == "load":
+            api.send(json.dumps(state).encode("utf-8"))
+        elif op == "rendezvous":
+            wire = request["req"]
+            api.stem.complete_rendezvous(service, {
+                "cookie": bytes.fromhex(wire["cookie"]),
+                "rp_address": wire["rp_address"],
+                "rp_port": int(wire["rp_port"]),
+                "onionskin": bytes.fromhex(wire["onionskin"]),
+            }, wait=False)
+            api.send(b'{"ok": true}')
+        elif op == "stop":
+            break
+    return state
+'''
+
+LOADBALANCER_SOURCE = r'''
+import json
+''' + _SERVE_SNIPPET + r'''
+
+def loadbalancer(replica_source, replica_manifest, high_water, low_water,
+                 max_replicas, duration_s, poll_interval):
+    content = api.recv(timeout=300.0)
+    state = {"active": 0, "served": 0}
+    service = api.stem.create_hidden_service(
+        _make_handler(content, state),
+        n_intro=3, manual_introductions=True)
+    api.send(json.dumps({"onion": str(service.onion_address)}).encode("utf-8"))
+    key_material = service.export_key_material()
+
+    # Load model: each instance's in-flight estimate is assigned - served.
+    # "assigned" counts dispatches (known instantly); "served" comes from
+    # the local handler state or replica load reports (refreshed on idle
+    # ticks) — so dispatch never blocks on a poll round.
+    local = {"assigned": 0}
+    replicas = []
+    events = [[api.time(), "start", 1]]
+
+    def estimate(instance):
+        if instance["kind"] == "local":
+            return max(state["active"],
+                       local["assigned"] - state["served"])
+        rep = instance["rep"]
+        return max(rep["active"], rep["assigned"] - rep["served"])
+
+    def poll_loads():
+        for rep in replicas:
+            if not rep["ready"]:
+                continue     # the only pending output would be "ready"
+            api.remote_send(rep["handle"], b'{"op": "load"}')
+            info = json.loads(api.remote_recv(rep["handle"], timeout=60.0)
+                              .decode("utf-8"))
+            rep["active"] = info["active"]
+            rep["served"] = info["served"]
+
+    def spawn_replica():
+        # Deploy and push the key material + content, but do NOT wait for
+        # the replica to come up: the content transfer proceeds while we
+        # keep dispatching; the first dispatch to this replica waits.
+        # Replicas are the operator's own infrastructure: the key and
+        # content copy goes direct (the paper's LB copied files between
+        # its own EC2 hosts), not through an anonymity circuit.
+        handle = api.deploy(replica_source, replica_manifest, direct=True)
+        api.remote_invoke_nowait(handle, [key_material, len(content)])
+        api.remote_send(handle, content)
+        replicas.append({"handle": handle, "active": 0, "served": 0,
+                         "assigned": 0, "ready": False})
+        events.append([api.time(), "scale-up", 1 + len(replicas)])
+
+    def ensure_ready(rep, timeout=300.0):
+        """Wait for a replica's {"ready": true}; with a tiny timeout this
+        is a non-blocking readiness poll."""
+        if not rep["ready"]:
+            try:
+                api.remote_recv(rep["handle"], timeout=timeout)
+                rep["ready"] = True
+            except Exception:
+                pass
+        return rep["ready"]
+
+    def dispatch(request):
+        # Only *ready* instances are dispatch candidates: waiting for a
+        # replica mid-provisioning would stall every queued client.
+        instances = [{"kind": "local"}]
+        for rep in replicas:
+            if ensure_ready(rep, timeout=0.05):
+                instances.append({"kind": "replica", "rep": rep})
+        least = min(instances, key=estimate)
+        if estimate(least) >= high_water and len(replicas) < max_replicas:
+            # Start a replica for *future* load, but serve this request
+            # from existing capacity — the new instance is still copying
+            # the content and key material.
+            spawn_replica()
+        if least["kind"] == "local":
+            local["assigned"] += 1
+            api.stem.complete_rendezvous(service, request, wait=False)
+        else:
+            rep = least["rep"]
+            rep["assigned"] += 1
+            ensure_ready(rep)
+            api.remote_send(rep["handle"], json.dumps({"op": "rendezvous", "req": {
+                "cookie": request["cookie"].hex(),
+                "rp_address": request["rp_address"],
+                "rp_port": int(request["rp_port"]),
+                "onionskin": request["onionskin"].hex(),
+            }}).encode("utf-8"))
+            api.remote_recv(rep["handle"], timeout=120.0)
+        events.append([api.time(), "dispatch", least["kind"]])
+
+    end = api.time() + duration_s
+    while api.time() < end:
+        remaining = end - api.time()
+        try:
+            request = api.stem.wait_introduction(
+                service, timeout=min(poll_interval, remaining))
+        except Exception:
+            request = None
+        if request is not None:
+            dispatch(request)
+            continue
+        # Idle tick: refresh real loads and consider scaling down.
+        for rep in replicas:
+            ensure_ready(rep, timeout=0.05)
+        poll_loads()
+        total_active = state["active"] + sum(r["active"] for r in replicas)
+        idle = [r for r in replicas
+                if r["ready"] and r["active"] == 0
+                and r["assigned"] <= r["served"]]
+        if idle and total_active <= low_water:
+            rep = idle[-1]
+            api.remote_send(rep["handle"], b'{"op": "stop"}')
+            api.remote_shutdown(rep["handle"])
+            replicas.remove(rep)
+            events.append([api.time(), "scale-down", 1 + len(replicas)])
+
+    # Drain: the service window is over, but in-flight downloads finish
+    # before any instance is decommissioned.
+    drain_deadline = api.time() + 600.0
+    while api.time() < drain_deadline:
+        for rep in replicas:
+            ensure_ready(rep, timeout=1.0)
+        poll_loads()
+        busy = state["active"] + sum(r["active"] for r in replicas)
+        waiting = (local["assigned"] - state["served"]) + sum(
+            r["assigned"] - r["served"] for r in replicas)
+        if all(r["ready"] for r in replicas) and busy <= 0 and waiting <= 0:
+            break
+        api.sleep(poll_interval)
+
+    for rep in replicas:
+        api.remote_send(rep["handle"], b'{"op": "stop"}')
+        api.remote_shutdown(rep["handle"])
+    return {"events": events, "served_local": state["served"],
+            "replicas_at_end": len(replicas)}
+'''
+
+
+class LoadBalancerFunction:
+    """Host-side helper: manifests, startup, and the client download."""
+
+    SOURCE = LOADBALANCER_SOURCE
+    REPLICA_SOURCE = REPLICA_SOURCE
+
+    LB_API_CALLS = frozenset({
+        "send", "recv", "log", "time", "sleep",
+        "deploy", "remote_invoke", "remote_send", "remote_recv",
+        "remote_shutdown",
+        "stem.create_hidden_service", "stem.hs_wait_introduction",
+        "stem.hs_complete_rendezvous",
+    })
+    REPLICA_API_CALLS = frozenset({
+        "send", "recv", "log",
+        "stem.create_hidden_service", "stem.hs_complete_rendezvous",
+    })
+
+    @classmethod
+    def manifest(cls, image: str = "python-op-sgx",
+                 memory_bytes: int = 24 * MB) -> FunctionManifest:
+        """The balancer holds the content and the service key: it is the
+        case §5.4 motivates conclaves for."""
+        return FunctionManifest.create(
+            name="loadbalancer", entry="loadbalancer",
+            api_calls=cls.LB_API_CALLS, image=image,
+            memory_bytes=memory_bytes)
+
+    @classmethod
+    def replica_manifest(cls, image: str = "python-op-sgx",
+                         memory_bytes: int = 24 * MB) -> FunctionManifest:
+        """Manifest for the cloned replica function."""
+        return FunctionManifest.create(
+            name="lb-replica", entry="replica",
+            api_calls=cls.REPLICA_API_CALLS, image=image,
+            memory_bytes=memory_bytes)
+
+    @classmethod
+    def start(cls, thread: SimThread, session, content: bytes,
+              high_water: int = 2, low_water: int = 1, max_replicas: int = 3,
+              duration_s: float = 120.0, poll_interval: float = 2.0,
+              replica_image: str = "python-op-sgx",
+              timeout: float = 600.0) -> str:
+        """Launch the balancer on a loaded session; returns the onion
+        address it is serving."""
+        from repro.core import messages
+
+        session.framed.send_frame(messages.encode_message(
+            messages.INVOKE, token=session.invocation_token,
+            args=[cls.REPLICA_SOURCE,
+                  cls.replica_manifest(image=replica_image).to_wire(),
+                  high_water, low_water, max_replicas, duration_s,
+                  poll_interval]))
+        session.send_message(content)
+        ready = session.next_output(thread, timeout=timeout)
+        return json.loads(ready.decode("utf-8"))["onion"]
+
+    @staticmethod
+    def download(thread: SimThread, tor_client: TorClient, onion: str,
+                 timeout: float = 1200.0) -> tuple[bytes, float]:
+        """One client's full download from the (possibly balanced) service.
+
+        Returns (content, elapsed_seconds).  Matches the serving protocol:
+        GET, length-prefixed body, DONE.
+        """
+        started = tor_client.sim.now
+        circuit = tor_client.connect_to_hidden_service(thread, onion,
+                                                       timeout=timeout)
+        stream = circuit.open_stream(thread, "", 80, timeout=timeout)
+        stream.send(b"GET")
+        buffer = b""
+        while len(buffer) < 8:
+            chunk = stream.recv(thread, timeout=timeout)
+            if chunk == b"":
+                raise ConnectionError("service hung up before header")
+            buffer += chunk
+        total = int.from_bytes(buffer[:8], "big")
+        body = buffer[8:]
+        while len(body) < total:
+            chunk = stream.recv(thread, timeout=timeout)
+            if chunk == b"":
+                raise ConnectionError("service hung up mid-body")
+            body += chunk
+        stream.send(b"DONE")
+        stream.close()
+        circuit.close()
+        return body, tor_client.sim.now - started

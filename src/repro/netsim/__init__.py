@@ -1,0 +1,50 @@
+"""Deterministic discrete-event network simulator.
+
+This is the substrate the paper's *live Tor network* evaluation runs on in
+this reproduction.  It provides:
+
+* :class:`~repro.netsim.simulator.Simulator` -- event loop, timers, futures,
+  and cooperative blocking actors (:class:`~repro.netsim.simulator.SimThread`),
+* :class:`~repro.netsim.node.Node` with rate-limited up/down interfaces,
+* :class:`~repro.netsim.network.Network` -- topology, latency, listeners,
+* :class:`~repro.netsim.connection.Connection` -- reliable ordered message
+  channels with chunked transmission and an optional slow-start window model,
+* :mod:`~repro.netsim.http` -- a small HTTP/S model for web workloads,
+* :mod:`~repro.netsim.trace` -- packet traces for fingerprinting attacks.
+"""
+
+from repro.netsim.simulator import Future, Simulator, SimThread, SimTimeoutError
+from repro.netsim.node import Node
+from repro.netsim.network import Network, NetworkError
+from repro.netsim.connection import Connection, ConnectionClosed
+from repro.netsim.bytestream import (
+    ByteStream,
+    DirectByteStream,
+    FramedStream,
+    Framer,
+    StreamClosed,
+)
+from repro.netsim.trace import PacketRecord, TraceRecorder
+from repro.netsim.http import HttpResponse, HttpServer, http_get
+
+__all__ = [
+    "Simulator",
+    "SimThread",
+    "SimTimeoutError",
+    "Future",
+    "Node",
+    "Network",
+    "NetworkError",
+    "Connection",
+    "ConnectionClosed",
+    "ByteStream",
+    "DirectByteStream",
+    "FramedStream",
+    "Framer",
+    "StreamClosed",
+    "TraceRecorder",
+    "PacketRecord",
+    "HttpServer",
+    "HttpResponse",
+    "http_get",
+]

@@ -1,0 +1,182 @@
+"""Byte-stream abstraction and framing.
+
+Tor streams and direct TCP connections both present the same interface to
+applications: an ordered, reliable byte pipe.  :class:`ByteStream` is that
+interface; :class:`DirectByteStream` implements it over a plain
+:class:`~repro.netsim.connection.Connection`, and
+:class:`~repro.tor.stream.TorStream` implements it over a circuit.  The
+HTTP layer and all Bento wire traffic run over either, unchanged — which is
+what lets an exit node splice streams without understanding the protocol
+inside them.
+
+:class:`Framer` provides length-prefixed message framing on top of a byte
+pipe.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional, Protocol
+
+from repro.netsim.connection import Connection, ConnectionClosed
+from repro.netsim.node import Node
+from repro.netsim.simulator import Future, SimThread
+
+
+class ByteStream(Protocol):
+    """An ordered, reliable, bidirectional byte pipe."""
+
+    def send(self, data: bytes) -> None:
+        """Queue bytes for the peer."""
+        ...  # pragma: no cover - protocol stub
+
+    def recv(self, thread: SimThread, timeout: Optional[float] = None) -> bytes:
+        """Block until some bytes arrive; ``b''`` signals EOF."""
+        ...  # pragma: no cover - protocol stub
+
+    def close(self) -> None:
+        """Close the pipe in both directions."""
+        ...  # pragma: no cover - protocol stub
+
+
+class StreamClosed(ConnectionClosed):
+    """Raised when sending on a closed byte stream."""
+
+
+class _RecvQueue:
+    """Shared receive-side machinery: a queue of byte chunks + EOF flag."""
+
+    def __init__(self, sim) -> None:
+        self._sim = sim
+        self._chunks: list[bytes] = []
+        self._eof = False
+        self._waiter: Optional[Future] = None
+
+    def push(self, data: bytes) -> None:
+        """Queue received bytes for the reader."""
+        self._chunks.append(data)
+        self._wake()
+
+    def push_eof(self) -> None:
+        """Mark end-of-stream; blocked readers wake with b''."""
+        self._eof = True
+        self._wake()
+
+    def _wake(self) -> None:
+        if self._waiter is not None and not self._waiter.done:
+            self._waiter.resolve(None)
+
+    def pop(self, thread: SimThread, timeout: Optional[float]) -> bytes:
+        """Block until bytes (or EOF) are available."""
+        while not self._chunks and not self._eof:
+            self._waiter = Future(self._sim)
+            thread.wait(self._waiter, timeout=timeout)
+            self._waiter = None
+        if self._chunks:
+            return self._chunks.pop(0)
+        return b""  # EOF
+
+
+class DirectByteStream:
+    """A :class:`ByteStream` over a plain network connection."""
+
+    def __init__(self, conn: Connection, local: Node) -> None:
+        self.conn = conn
+        self.local = local
+        self._recv = _RecvQueue(conn.sim)
+        endpoint = conn.endpoint_of(local)
+        endpoint.on_message = self._on_message
+        endpoint.on_close = lambda _conn: self._recv.push_eof()
+
+    def _on_message(self, _conn: Connection, payload: object, _size: int) -> None:
+        if isinstance(payload, (bytes, bytearray)):
+            self._recv.push(bytes(payload))
+
+    def send(self, data: bytes) -> None:
+        """Send bytes to the peer."""
+        if self.conn.closed:
+            raise StreamClosed("send on closed stream")
+        if data:
+            self.conn.send(self.local, bytes(data))
+
+    def recv(self, thread: SimThread, timeout: Optional[float] = None) -> bytes:
+        """Block until the next chunk arrives; b'' at EOF."""
+        return self._recv.pop(thread, timeout)
+
+    def close(self) -> None:
+        """Close the stream/connection."""
+        self.conn.close()
+
+
+class Framer:
+    """Length-prefixed message framing over a byte pipe.
+
+    Stateless encode plus a stateful decoder that tolerates frames split
+    across arbitrary chunk boundaries.
+    """
+
+    _HEADER = struct.Struct(">I")
+    MAX_FRAME = 256 * 1024 * 1024
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @classmethod
+    def encode(cls, frame: bytes) -> bytes:
+        """Prefix ``frame`` with its 4-byte big-endian length."""
+        if len(frame) > cls.MAX_FRAME:
+            raise ValueError("frame too large")
+        return cls._HEADER.pack(len(frame)) + frame
+
+    def feed(self, data: bytes) -> list[bytes]:
+        """Add received bytes; return all frames completed by them."""
+        self._buffer.extend(data)
+        frames: list[bytes] = []
+        while True:
+            if len(self._buffer) < self._HEADER.size:
+                break
+            (length,) = self._HEADER.unpack_from(self._buffer, 0)
+            if length > self.MAX_FRAME:
+                raise ValueError("incoming frame exceeds maximum size")
+            end = self._HEADER.size + length
+            if len(self._buffer) < end:
+                break
+            frames.append(bytes(self._buffer[self._HEADER.size:end]))
+            del self._buffer[:end]
+        return frames
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet forming a complete frame."""
+        return len(self._buffer)
+
+
+class FramedStream:
+    """Message-oriented view of a byte stream (length-prefixed frames)."""
+
+    def __init__(self, stream: ByteStream) -> None:
+        self.stream = stream
+        self._framer = Framer()
+        self._ready: list[bytes] = []
+
+    def send_frame(self, frame: bytes) -> None:
+        """Send one frame."""
+        self.stream.send(Framer.encode(frame))
+
+    def recv_frame(self, thread: SimThread,
+                   timeout: Optional[float] = None) -> Optional[bytes]:
+        """Block until one complete frame arrives; ``None`` on EOF."""
+        if self._ready:
+            return self._ready.pop(0)
+        while True:
+            data = self.stream.recv(thread, timeout=timeout)
+            if data == b"":
+                return None
+            frames = self._framer.feed(data)
+            if frames:
+                self._ready.extend(frames[1:])
+                return frames[0]
+
+    def close(self) -> None:
+        """Close the underlying stream."""
+        self.stream.close()

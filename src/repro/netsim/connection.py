@@ -1,0 +1,265 @@
+"""Reliable, ordered, message-oriented connections.
+
+A :class:`Connection` models a TCP (or TLS) connection between two nodes.
+Messages are Python objects with an explicit wire size; large messages are
+chunked through the sender's uplink and the receiver's downlink so that
+concurrent connections share bandwidth fairly.  An optional *windowed* send
+models TCP slow start, which is what makes small transfers RTT-bound — the
+effect behind Table 2's "Browser beats standard Tor on small pages" result.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.netsim.node import Node
+from repro.netsim.simulator import Future, Simulator
+
+# Chunk size for interleaving concurrent flows on an interface.  Small
+# messages (e.g. 514-byte Tor cells) are never split.
+DEFAULT_CHUNK = 4096
+
+MessageHandler = Callable[["Connection", Any, int], None]
+CloseHandler = Callable[["Connection"], None]
+
+
+class ConnectionClosed(Exception):
+    """Raised when sending on (or waiting to receive from) a closed connection."""
+
+
+class Endpoint:
+    """One side's view of a connection: handlers plus a receive queue."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.on_message: Optional[MessageHandler] = None
+        self.on_close: Optional[CloseHandler] = None
+        self._queue: list[tuple[Any, int]] = []
+        self._waiter: Optional[Future] = None
+        self._sim = sim
+        self._closed = False
+
+    def _deliver(self, conn: "Connection", payload: Any, size: int) -> None:
+        if self.on_message is not None:
+            self.on_message(conn, payload, size)
+            return
+        self._queue.append((payload, size))
+        if self._waiter is not None and not self._waiter.done:
+            self._waiter.resolve(None)
+
+    def _notify_close(self, conn: "Connection") -> None:
+        self._closed = True
+        if self._waiter is not None and not self._waiter.done:
+            self._waiter.resolve(None)
+        if self.on_close is not None:
+            self.on_close(conn)
+
+
+class Connection:
+    """A bidirectional reliable channel between two nodes.
+
+    Create via :meth:`repro.netsim.network.Network.connect` (which models
+    the connection-establishment round trip) rather than directly.
+    """
+
+    def __init__(self, sim: Simulator, initiator: Node, responder: Node,
+                 latency_s: float, chunk_size: int = DEFAULT_CHUNK) -> None:
+        self.sim = sim
+        self.initiator = initiator
+        self.responder = responder
+        self.latency = latency_s
+        self.chunk_size = chunk_size
+        self.closed = False
+        self._endpoints = {initiator.name: Endpoint(sim), responder.name: Endpoint(sim)}
+        self.bytes_sent = {initiator.name: 0, responder.name: 0}
+
+    # -- wiring ---------------------------------------------------------
+
+    def endpoint_of(self, node: Node) -> Endpoint:
+        """The endpoint owned by ``node`` (KeyError for strangers)."""
+        return self._endpoints[node.name]
+
+    def peer_of(self, node: Node) -> Node:
+        """The node on the other side."""
+        if node.name == self.initiator.name:
+            return self.responder
+        if node.name == self.responder.name:
+            return self.initiator
+        raise KeyError(f"{node.name} is not an endpoint of this connection")
+
+    @property
+    def rtt(self) -> float:
+        """Round-trip propagation time of this connection."""
+        return 2.0 * self.latency
+
+    # -- sending ----------------------------------------------------------
+
+    def send(self, sender: Node, payload: Any, size: Optional[int] = None,
+             on_sent: Optional[Callable[[], None]] = None) -> None:
+        """Send ``payload`` from ``sender`` to the peer.
+
+        ``size`` defaults to ``len(payload)`` for byte strings.  The payload
+        is delivered to the peer endpoint after serialization through both
+        interfaces plus propagation latency.  ``on_sent`` fires when the
+        sender's uplink has finished serializing (used for backpressure).
+        """
+        if self.closed:
+            raise ConnectionClosed(f"send on closed connection {self!r}")
+        receiver = self.peer_of(sender)
+        nbytes = self._size_of(payload, size)
+        self.bytes_sent[sender.name] += nbytes
+        remaining = nbytes
+        offset_chunks: list[int] = []
+        while remaining > self.chunk_size:
+            offset_chunks.append(self.chunk_size)
+            remaining -= self.chunk_size
+        offset_chunks.append(remaining)
+
+        last_index = len(offset_chunks) - 1
+
+        def _send_chunk(index: int) -> None:
+            chunk = offset_chunks[index]
+
+            def _arrived_at_receiver() -> None:
+                def _received() -> None:
+                    if index == last_index:
+                        self._deliver(receiver, payload, nbytes)
+
+                receiver.downlink.transmit(chunk, then=_received)
+
+            sender.uplink.transmit(chunk, then=_arrived_at_receiver,
+                                   extra_delay=self.latency)
+            if index < last_index:
+                # Pace the next chunk behind this one so concurrent flows
+                # interleave on the uplink instead of one flow monopolizing it.
+                self.sim.schedule_at(
+                    sender.uplink._busy_until, _send_chunk, index + 1
+                )
+            elif on_sent is not None:
+                self.sim.schedule_at(sender.uplink._busy_until, on_sent)
+
+        _send_chunk(0)
+
+    def _size_of(self, payload: Any, size: Optional[int]) -> int:
+        if size is not None:
+            return int(size)
+        if isinstance(payload, (bytes, bytearray)):
+            return len(payload)
+        raise TypeError("non-bytes payloads need an explicit size")
+
+    def _deliver(self, receiver: Node, payload: Any, size: int) -> None:
+        if self.closed:
+            return
+        self._endpoints[receiver.name]._deliver(self, payload, size)
+
+    # -- receiving (blocking style, for sim-threads) -----------------------
+
+    def receive(self, node: Node, thread, timeout: Optional[float] = None) -> Any:
+        """Block (in a sim-thread) until a message for ``node`` arrives."""
+        endpoint = self._endpoints[node.name]
+        if endpoint.on_message is not None:
+            raise RuntimeError("endpoint already has an on_message handler")
+        while not endpoint._queue:
+            if endpoint._closed or self.closed:
+                raise ConnectionClosed("connection closed while receiving")
+            endpoint._waiter = Future(self.sim)
+            thread.wait(endpoint._waiter, timeout=timeout)
+            endpoint._waiter = None
+        payload, _size = endpoint._queue.pop(0)
+        return payload
+
+    # -- teardown -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Close both directions.  Queued-but-undelivered messages are dropped."""
+        if self.closed:
+            return
+        self.closed = True
+        for node in (self.initiator, self.responder):
+            self._endpoints[node.name]._notify_close(self)
+
+    def __repr__(self) -> str:
+        return f"<Connection {self.initiator.name}<->{self.responder.name}>"
+
+
+class LoopbackConnection:
+    """A connection from a node to itself (e.g. an exit relay dialing the
+    Bento server on its own machine).
+
+    A normal :class:`Connection` keys endpoints by node name, which
+    collapses for loopback; instead, :meth:`create` returns two *sides*,
+    each presenting the Connection interface with its own endpoint.
+    Loopback transfers skip the interface queues (the kernel does not put
+    localhost traffic on the NIC) and arrive after a negligible delay.
+    """
+
+    LOOPBACK_DELAY = 1e-5
+
+    @classmethod
+    def create(cls, sim: Simulator, node: Node
+               ) -> tuple["LoopbackConnection", "LoopbackConnection"]:
+        """Two connected sides for one loopback connection."""
+        a = cls(sim, node)
+        b = cls(sim, node)
+        a._peer = b
+        b._peer = a
+        return a, b
+
+    def __init__(self, sim: Simulator, node: Node) -> None:
+        self.sim = sim
+        self.initiator = node
+        self.responder = node
+        self.latency = self.LOOPBACK_DELAY
+        self.closed = False
+        self._endpoint = Endpoint(sim)
+        self._peer: Optional["LoopbackConnection"] = None
+
+    @property
+    def rtt(self) -> float:
+        """Round-trip propagation time."""
+        return 2.0 * self.latency
+
+    def endpoint_of(self, _node: Node) -> Endpoint:
+        """This side's endpoint (loopback: each side has its own)."""
+        return self._endpoint
+
+    def peer_of(self, node: Node) -> Node:
+        """The node on the other side (itself, for loopback)."""
+        return node
+
+    def send(self, _sender: Node, payload: Any, size: Optional[int] = None,
+             on_sent: Optional[Callable[[], None]] = None) -> None:
+        """Send bytes to the peer."""
+        if self.closed:
+            raise ConnectionClosed("send on closed loopback connection")
+        nbytes = size if size is not None else len(payload)
+
+        def _deliver() -> None:
+            peer = self._peer
+            if peer is not None and not peer.closed:
+                peer._endpoint._deliver(peer, payload, nbytes)
+
+        self.sim.schedule(self.LOOPBACK_DELAY, _deliver)
+        if on_sent is not None:
+            self.sim.schedule(0.0, on_sent)
+
+    def receive(self, _node: Node, thread, timeout: Optional[float] = None) -> Any:
+        """Blocking receive of the next queued payload."""
+        endpoint = self._endpoint
+        while not endpoint._queue:
+            if endpoint._closed or self.closed:
+                raise ConnectionClosed("loopback closed while receiving")
+            endpoint._waiter = Future(self.sim)
+            thread.wait(endpoint._waiter, timeout=timeout)
+            endpoint._waiter = None
+        payload, _size = endpoint._queue.pop(0)
+        return payload
+
+    def close(self) -> None:
+        """Close the stream/connection."""
+        if self.closed:
+            return
+        self.closed = True
+        self._endpoint._notify_close(self)
+        peer = self._peer
+        if peer is not None and not peer.closed:
+            peer.close()

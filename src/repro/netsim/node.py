@@ -1,0 +1,57 @@
+"""Simulated hosts."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.netsim.interface import Interface
+from repro.netsim.simulator import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netsim.connection import Connection
+
+# Handler invoked with the accepted Connection when a peer connects.
+AcceptHandler = Callable[["Connection"], None]
+
+
+class Node:
+    """A host: a name, an address, and rate-limited up/down interfaces.
+
+    Default rates model a well-connected VPS (100 Mbit/s symmetric).  The
+    evaluation scenarios override them to match the paper's EC2 instance
+    classes.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        address: str,
+        up_bytes_per_s: float = 12_500_000.0,
+        down_bytes_per_s: float = 12_500_000.0,
+        position: Optional[tuple[float, float]] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.address = address
+        self.position = position      # optional 2-D coordinates (geo mode)
+        self.uplink = Interface(sim, up_bytes_per_s, name=f"{name}.up")
+        self.downlink = Interface(sim, down_bytes_per_s, name=f"{name}.down")
+        self._listeners: dict[int, AcceptHandler] = {}
+
+    def listen(self, port: int, handler: AcceptHandler) -> None:
+        """Accept connections on ``port``; ``handler`` gets each new one."""
+        if port in self._listeners:
+            raise ValueError(f"{self.name}: port {port} already bound")
+        self._listeners[port] = handler
+
+    def unlisten(self, port: int) -> None:
+        """Stop accepting connections on ``port``."""
+        self._listeners.pop(port, None)
+
+    def listener_for(self, port: int) -> Optional[AcceptHandler]:
+        """The accept handler bound to ``port``, if any."""
+        return self._listeners.get(port)
+
+    def __repr__(self) -> str:
+        return f"<Node {self.name} addr={self.address}>"

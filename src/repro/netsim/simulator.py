@@ -1,0 +1,290 @@
+"""The discrete-event core: clock, event queue, futures, and sim-threads.
+
+Two execution styles coexist:
+
+* **Event-driven handlers** (relays, servers) register callbacks with
+  :meth:`Simulator.schedule`; they must never block.
+* **Blocking actors** (clients, Bento functions) run as
+  :class:`SimThread`\\ s -- real OS threads of which at most one runs at a
+  time, hand-scheduled by the simulator.  Inside a sim-thread, code may call
+  :meth:`SimThread.sleep` and :meth:`SimThread.wait` and reads as ordinary
+  sequential Python.  Because exactly one thread runs at any instant and
+  every wake-up flows through the (deterministic) event queue, simulations
+  remain fully reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import Any, Callable, Optional
+
+from repro.util.errors import ReproError
+from repro.util.rng import DeterministicRandom
+
+
+class SimulationError(ReproError):
+    """Raised for scheduler misuse (e.g., blocking outside a sim-thread)."""
+
+
+class SimTimeoutError(ReproError):
+    """Raised when a wait exceeds its timeout."""
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`Simulator.schedule`."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable, args: tuple) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Safe to call repeatedly."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Future:
+    """A one-shot container for a value that arrives later in sim-time."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self._sim = sim
+        self.done = False
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: list[Callable[["Future"], None]] = []
+
+    def resolve(self, value: Any = None) -> None:
+        """Complete the future successfully."""
+        self._finish(value=value)
+
+    def reject(self, exception: BaseException) -> None:
+        """Complete the future with an error."""
+        self._finish(exception=exception)
+
+    def _finish(self, value: Any = None, exception: Optional[BaseException] = None) -> None:
+        if self.done:
+            raise SimulationError("future resolved twice")
+        self.done = True
+        self._value = value
+        self._exception = exception
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self._sim.schedule(0.0, callback, self)
+
+    def result(self) -> Any:
+        """The value (or raise the error).  Only valid once done."""
+        if not self.done:
+            raise SimulationError("future not yet resolved")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def add_done_callback(self, callback: Callable[["Future"], None]) -> None:
+        """Run ``callback(self)`` (via the event queue) once resolved."""
+        if self.done:
+            self._sim.schedule(0.0, callback, self)
+        else:
+            self._callbacks.append(callback)
+
+
+class SimThread:
+    """A blocking actor multiplexed onto the simulator.
+
+    Created with :meth:`Simulator.spawn`.  The target callable receives the
+    :class:`SimThread` as its first argument and may call :meth:`sleep`,
+    :meth:`wait` and :meth:`join` — each suspends this actor and lets
+    simulated time advance.
+    """
+
+    def __init__(self, sim: "Simulator", name: str, fn: Callable, args: tuple) -> None:
+        self.sim = sim
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+        self._fn = fn
+        self._args = args
+        self._go = threading.Event()
+        self._yielded = threading.Event()
+        self._done_future = Future(sim)
+        self._thread = threading.Thread(
+            target=self._run, name=f"sim:{name}", daemon=True
+        )
+
+    # -- scheduler side -------------------------------------------------
+
+    def _start(self) -> None:
+        self._thread.start()
+        self._step()
+
+    def _step(self) -> None:
+        """Run the actor until it blocks again (called from the event loop)."""
+        self._yielded.clear()
+        self._go.set()
+        self._yielded.wait()
+        if self.finished:
+            if self.exception is not None and not self._done_future.done:
+                self._done_future.reject(self.exception)
+            elif not self._done_future.done:
+                self._done_future.resolve(self.result)
+
+    # -- actor side ------------------------------------------------------
+
+    def _run(self) -> None:
+        self._go.wait()
+        self._go.clear()
+        try:
+            self.result = self._fn(self, *self._args)
+        except BaseException as exc:  # noqa: BLE001 - surfaced via .exception
+            self.exception = exc
+        finally:
+            self.finished = True
+            self._yielded.set()
+
+    def _block(self) -> None:
+        """Yield control to the scheduler; returns when re-scheduled."""
+        self._yielded.set()
+        self._go.wait()
+        self._go.clear()
+
+    def wait(self, future: Future, timeout: Optional[float] = None) -> Any:
+        """Suspend until ``future`` resolves; returns its value.
+
+        Raises :class:`SimTimeoutError` if ``timeout`` simulated seconds
+        elapse first (the future itself is left untouched).
+        """
+        if threading.current_thread() is not self._thread:
+            raise SimulationError("wait() called from outside this sim-thread")
+        timed_out = False
+        timeout_event: Optional[Event] = None
+
+        def _wake(_arg: Any) -> None:
+            self.sim._wake_thread(self)
+
+        def _on_timeout() -> None:
+            nonlocal timed_out
+            timed_out = True
+            self.sim._wake_thread(self)
+
+        if timeout is not None:
+            timeout_event = self.sim.schedule(timeout, _on_timeout)
+        future.add_done_callback(_wake)
+        while not future.done and not timed_out:
+            self._block()
+        if timeout_event is not None:
+            timeout_event.cancel()
+        if not future.done:
+            raise SimTimeoutError(f"wait timed out after {timeout}s")
+        return future.result()
+
+    def sleep(self, duration: float) -> None:
+        """Suspend for ``duration`` simulated seconds."""
+        if duration < 0:
+            raise ValueError("cannot sleep a negative duration")
+        future = Future(self.sim)
+        self.sim.schedule(duration, future.resolve, None)
+        self.wait(future)
+
+    def join(self, other: "SimThread", timeout: Optional[float] = None) -> Any:
+        """Suspend until another sim-thread finishes; returns its result."""
+        return self.wait(other._done_future, timeout=timeout)
+
+    @property
+    def done_future(self) -> Future:
+        """A future resolved with the actor's result when it finishes."""
+        return self._done_future
+
+
+class Simulator:
+    """Deterministic discrete-event scheduler with a virtual clock."""
+
+    def __init__(self, seed: int | str = 0) -> None:
+        self.now = 0.0
+        self.rng = DeterministicRandom(seed)
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._threads: list[SimThread] = []
+        self._running = False
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> Event:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError("cannot schedule into the past")
+        event = Event(self.now + delay, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, fn: Callable, *args: Any) -> Event:
+        """Run ``fn(*args)`` at absolute simulated time ``time``."""
+        return self.schedule(max(0.0, time - self.now), fn, *args)
+
+    # -- sim-threads -------------------------------------------------------
+
+    def spawn(self, fn: Callable, *args: Any, name: str = "actor",
+              delay: float = 0.0) -> SimThread:
+        """Create a blocking actor; it starts after ``delay`` sim-seconds."""
+        thread = SimThread(self, name, fn, args)
+        self._threads.append(thread)
+        self.schedule(delay, thread._start)
+        return thread
+
+    def _wake_thread(self, thread: SimThread) -> None:
+        if not thread.finished:
+            thread._step()
+
+    # -- running ------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> None:
+        """Process events in order until the queue drains (or ``until``).
+
+        Sim-thread wake-ups happen synchronously inside their events, so
+        when this returns with an empty queue every actor is parked or done.
+        """
+        if self._running:
+            raise SimulationError("run() re-entered; use sim-threads to block")
+        self._running = True
+        try:
+            processed = 0
+            while self._heap:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self.now = event.time
+                event.fn(*event.args)
+                processed += 1
+                if processed > max_events:
+                    raise SimulationError(f"exceeded {max_events} events; runaway simulation?")
+            if until is not None and self.now < until:
+                self.now = until
+        finally:
+            self._running = False
+
+    def run_until_done(self, thread: SimThread, until: Optional[float] = None) -> Any:
+        """Run the simulation until ``thread`` completes, then return its result."""
+        self.run(until=until)
+        if not thread.finished:
+            raise SimTimeoutError(f"sim-thread {thread.name!r} did not finish by t={self.now}")
+        if thread.exception is not None:
+            raise thread.exception
+        return thread.result
+
+    def check_failures(self) -> None:
+        """Raise the first exception any finished sim-thread recorded."""
+        for thread in self._threads:
+            if thread.finished and thread.exception is not None:
+                raise thread.exception

@@ -1,0 +1,37 @@
+"""The OS sandbox substrate (§5.3 "Sandboxing and Resource Accounting").
+
+Simulated equivalents of the Linux isolation machinery Bento uses:
+
+* :mod:`~repro.sandbox.memfs` -- an in-memory filesystem with chroot views,
+* :mod:`~repro.sandbox.cgroups` -- hierarchical memory/disk/CPU accounting
+  with hard limits,
+* :mod:`~repro.sandbox.seccomp` -- syscall filters over the API surface,
+* :mod:`~repro.sandbox.iptables` -- per-container network rules compiled
+  from the relay's exit policy,
+* :mod:`~repro.sandbox.container` -- the container runtime tying them
+  together.
+
+The enforcement *decisions* (what is denied, what is killed, what is
+rate-limited) are real; only the kernel is simulated.
+"""
+
+from repro.sandbox.memfs import MemFS, FsError, FsQuotaExceeded
+from repro.sandbox.cgroups import CGroup, ResourceExceeded
+from repro.sandbox.seccomp import SeccompPolicy, SeccompViolation, ALL_SYSCALLS
+from repro.sandbox.iptables import IptablesRuleset
+from repro.sandbox.container import Container, ContainerError, ContainerState
+
+__all__ = [
+    "MemFS",
+    "FsError",
+    "FsQuotaExceeded",
+    "CGroup",
+    "ResourceExceeded",
+    "SeccompPolicy",
+    "SeccompViolation",
+    "ALL_SYSCALLS",
+    "IptablesRuleset",
+    "Container",
+    "ContainerError",
+    "ContainerState",
+]

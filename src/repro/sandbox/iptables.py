@@ -1,0 +1,61 @@
+"""Per-container network rules compiled from the relay's exit policy.
+
+"To ensure that functions cannot violate a Tor relay's exit node policies,
+the Bento server converts the exit node policies into analogous iptable
+rules, and applies these rules to each container" (§5.3).  A loopback
+exception lets functions reach services on the Bento host itself (the
+Bento server's own port), which the operator opted into by running Bento.
+"""
+
+from __future__ import annotations
+
+from repro.tor.exitpolicy import ExitPolicy
+from repro.util.errors import ReproError
+
+
+class NetworkBlocked(ReproError):
+    """A container attempted a connection its rules forbid."""
+
+    def __init__(self, address: str, port: int) -> None:
+        self.address = address
+        self.port = port
+        super().__init__(f"iptables: connection to {address}:{port} blocked")
+
+
+class IptablesRuleset:
+    """The compiled, per-container form of an exit policy."""
+
+    def __init__(self, policy: ExitPolicy, host_address: str,
+                 loopback_ports: tuple[int, ...] = ()) -> None:
+        self._policy = policy
+        self._host_address = host_address
+        self._loopback_ports = tuple(loopback_ports)
+        self.denied_count = 0
+
+    @classmethod
+    def from_exit_policy(cls, policy: ExitPolicy, host_address: str,
+                         loopback_ports: tuple[int, ...] = ()) -> "IptablesRuleset":
+        """Compile a relay's exit policy into container rules."""
+        return cls(policy, host_address, loopback_ports)
+
+    def allows(self, address: str, port: int) -> bool:
+        """May a container connect to ``address:port``?"""
+        if address == self._host_address and port in self._loopback_ports:
+            return True
+        return self._policy.allows(address, port)
+
+    def check(self, address: str, port: int) -> None:
+        """Raise :class:`NetworkBlocked` on a forbidden destination."""
+        if not self.allows(address, port):
+            self.denied_count += 1
+            raise NetworkBlocked(address, port)
+
+    def render(self) -> str:
+        """Human-readable rule listing (for operator inspection)."""
+        lines = [f"-A OUTPUT -d {self._host_address} --dport {port} -j ACCEPT"
+                 for port in self._loopback_ports]
+        for rule in self._policy.rules:
+            target = "ACCEPT" if rule.accept else "DROP"
+            lines.append(f"-A OUTPUT {rule.render()} -j {target}")
+        lines.append("-A OUTPUT -j DROP")
+        return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""A from-scratch Tor substrate on the network simulator.
+
+This stands in for the live Tor network the paper evaluates on.  It
+implements the pieces Bento interacts with:
+
+* fixed-size cells and layered ("onion") relay encryption
+  (:mod:`~repro.tor.cell`, :mod:`~repro.tor.layercrypto`,
+  :mod:`~repro.tor.ntor`),
+* relays with circuit switching, EXTEND, exit streams and exit policies
+  (:mod:`~repro.tor.relay`, :mod:`~repro.tor.exitpolicy`),
+* a directory authority publishing a signed consensus
+  (:mod:`~repro.tor.directory`), bandwidth-weighted path selection
+  (:mod:`~repro.tor.path`),
+* a client onion proxy with circuits and byte streams
+  (:mod:`~repro.tor.client`, :mod:`~repro.tor.circuit`,
+  :mod:`~repro.tor.stream`),
+* hidden services: HSDir descriptors, introduction points, rendezvous
+  splicing (:mod:`~repro.tor.hidden_service` plus relay/client support),
+* :class:`~repro.tor.testnet.TorTestNetwork` — one-call construction of a
+  complete network for experiments.
+"""
+
+from repro.tor.cell import Cell, CellCommand, RelayCommand, CELL_SIZE
+from repro.tor.exitpolicy import ExitPolicy, ExitPolicyError
+from repro.tor.directory import DirectoryAuthority, Consensus
+from repro.tor.descriptor import HiddenServiceDescriptor, RelayDescriptor
+from repro.tor.relay import Relay
+from repro.tor.client import TorClient, TorError
+from repro.tor.circuit import Circuit
+from repro.tor.stream import TorStream
+from repro.tor.path import PathSelector
+from repro.tor.hidden_service import HiddenService, OnionAddress
+from repro.tor.testnet import TorTestNetwork
+
+__all__ = [
+    "Cell",
+    "CellCommand",
+    "RelayCommand",
+    "CELL_SIZE",
+    "ExitPolicy",
+    "ExitPolicyError",
+    "DirectoryAuthority",
+    "Consensus",
+    "RelayDescriptor",
+    "HiddenServiceDescriptor",
+    "Relay",
+    "TorClient",
+    "TorError",
+    "Circuit",
+    "TorStream",
+    "PathSelector",
+    "HiddenService",
+    "OnionAddress",
+    "TorTestNetwork",
+]

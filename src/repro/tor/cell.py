@@ -1,0 +1,131 @@
+"""Tor cells: the fixed-size wire unit of the overlay.
+
+Faithful to tor-spec in shape: 514-byte cells with a 4-byte circuit id and
+1-byte command; RELAY cells carry an encrypted 509-byte payload of
+``recognized(2) | stream_id(2) | digest(4) | length(2) | command(1) |
+data(498)``.  Cover-traffic (the Cover function) uses RELAY_DROP cells,
+exactly as proposed for padding in Tor.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+from repro.util.errors import ProtocolError
+
+CELL_SIZE = 514
+CELL_HEADER_SIZE = 5          # circ_id(4) + command(1)
+RELAY_PAYLOAD_SIZE = CELL_SIZE - CELL_HEADER_SIZE   # 509
+RELAY_HEADER_SIZE = 11        # recognized(2)+stream(2)+digest(4)+len(2)+cmd(1)
+RELAY_DATA_SIZE = RELAY_PAYLOAD_SIZE - RELAY_HEADER_SIZE  # 498
+
+_RELAY_HEADER = struct.Struct(">HH4sHB")
+
+
+class CellCommand(enum.IntEnum):
+    """Link-level cell commands."""
+
+    CREATE = 1
+    CREATED = 2
+    RELAY = 3
+    DESTROY = 4
+
+
+class RelayCommand(enum.IntEnum):
+    """Commands inside (decrypted) RELAY cells."""
+
+    BEGIN = 1
+    DATA = 2
+    END = 3
+    CONNECTED = 4
+    SENDME = 5
+    EXTEND = 6
+    EXTENDED = 7
+    DROP = 10                    # long-range padding; discarded at recipient
+    # Hidden-service (rendezvous) commands, numbered as in tor-spec.
+    ESTABLISH_INTRO = 32
+    ESTABLISH_RENDEZVOUS = 33
+    INTRODUCE1 = 34
+    INTRODUCE2 = 35
+    RENDEZVOUS1 = 36
+    RENDEZVOUS2 = 37
+    INTRO_ESTABLISHED = 38
+    RENDEZVOUS_ESTABLISHED = 39
+    INTRODUCE_ACK = 40
+
+
+@dataclass
+class Cell:
+    """One 514-byte cell.  ``payload`` is exactly 509 bytes on the wire."""
+
+    circ_id: int
+    command: CellCommand
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.payload) > RELAY_PAYLOAD_SIZE:
+            raise ProtocolError(
+                f"cell payload {len(self.payload)} exceeds {RELAY_PAYLOAD_SIZE}"
+            )
+        if len(self.payload) < RELAY_PAYLOAD_SIZE:
+            self.payload = self.payload.ljust(RELAY_PAYLOAD_SIZE, b"\x00")
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes this cell occupies on the wire (fixed)."""
+        return CELL_SIZE
+
+
+@dataclass(frozen=True)
+class RelayCellPayload:
+    """The decrypted interior of a RELAY cell."""
+
+    command: RelayCommand
+    stream_id: int
+    data: bytes
+    digest: bytes = b"\x00\x00\x00\x00"
+
+    def pack(self, digest: bytes = b"\x00\x00\x00\x00") -> bytes:
+        """Serialize to exactly 509 bytes with the given digest field."""
+        if len(self.data) > RELAY_DATA_SIZE:
+            raise ProtocolError(
+                f"relay data {len(self.data)} exceeds {RELAY_DATA_SIZE}"
+            )
+        if len(digest) != 4:
+            raise ProtocolError("relay digest must be 4 bytes")
+        header = _RELAY_HEADER.pack(
+            0, self.stream_id, digest, len(self.data), int(self.command)
+        )
+        return (header + self.data).ljust(RELAY_PAYLOAD_SIZE, b"\x00")
+
+    @classmethod
+    def unpack(cls, payload: bytes) -> "RelayCellPayload":
+        """Parse 509 payload bytes; raises :class:`ProtocolError` if malformed.
+
+        The *recognized* and digest checks live in
+        :class:`~repro.tor.layercrypto.RelayCryptoState`; this only parses
+        structure.
+        """
+        if len(payload) != RELAY_PAYLOAD_SIZE:
+            raise ProtocolError(f"relay payload must be {RELAY_PAYLOAD_SIZE} bytes")
+        recognized, stream_id, digest, length, command = _RELAY_HEADER.unpack_from(
+            payload, 0
+        )
+        if recognized != 0:
+            raise ProtocolError("relay cell not recognized")
+        if length > RELAY_DATA_SIZE:
+            raise ProtocolError("relay length field out of range")
+        try:
+            relay_command = RelayCommand(command)
+        except ValueError as exc:
+            raise ProtocolError(f"unknown relay command {command}") from exc
+        data = payload[RELAY_HEADER_SIZE:RELAY_HEADER_SIZE + length]
+        return cls(command=relay_command, stream_id=stream_id,
+                   data=data, digest=digest)
+
+    @staticmethod
+    def looks_recognized(payload: bytes) -> bool:
+        """Cheap first-pass check: the recognized field is zero."""
+        return len(payload) == RELAY_PAYLOAD_SIZE and payload[0] == 0 and payload[1] == 0

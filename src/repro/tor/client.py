@@ -1,0 +1,251 @@
+"""The Tor client (onion proxy): builds circuits, opens streams, and runs
+the client side of the hidden-service rendezvous protocol.
+
+All public methods that involve network round trips take the calling
+:class:`~repro.netsim.simulator.SimThread` and block in simulated time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.crypto.aead import AeadKey
+from repro.netsim.network import Network
+from repro.netsim.node import Node
+from repro.netsim.simulator import Future, SimThread
+from repro.tor import ntor
+from repro.tor.cell import RelayCommand
+from repro.tor.circuit import HS_CLIENT, Circuit
+from repro.tor.descriptor import RelayDescriptor
+from repro.tor.directory import DirectoryAuthority
+from repro.tor.layercrypto import HopCrypto
+from repro.tor.path import PathSelector
+from repro.tor.stream import TorStream
+from repro.util.bytesutil import int_to_bytes
+from repro.util.errors import ReproError
+from repro.util.serialization import canonical_decode, canonical_encode
+
+
+class TorError(ReproError):
+    """Raised for circuit-construction and rendezvous failures."""
+
+
+class TorClient:
+    """An onion proxy bound to one simulator node."""
+
+    def __init__(self, network: Network, node: Node,
+                 directory: DirectoryAuthority,
+                 fast_crypto: bool = False,
+                 use_entry_guard: bool = False) -> None:
+        self.network = network
+        self.node = node
+        self.sim = node.sim
+        self.directory = directory
+        self.fast_crypto = fast_crypto
+        # Real Tor clients pin a long-lived entry guard; opt in for
+        # experiments where the guard link is the observation point.
+        self.use_entry_guard = use_entry_guard
+        self._entry_guard: Optional[RelayDescriptor] = None
+        self._rng = self.sim.rng.fork(f"torclient:{node.name}")
+        # One long-lived stream for path selection: successive circuits
+        # must draw *different* paths (a fresh fork per call would replay
+        # the same choices every time).
+        self._path_rng = self._rng.fork("paths")
+        self._circ_ids = itertools.count(1)
+        self.circuits: list[Circuit] = []
+
+    # -- directory ---------------------------------------------------------
+
+    def consensus(self):
+        """Fetch and verify the current consensus."""
+        consensus = self.directory.consensus(self.sim.now)
+        if not consensus.verify(self.directory.public_key):
+            raise TorError("consensus signature invalid")
+        return consensus
+
+    def path_selector(self) -> PathSelector:
+        """A path selector over the verified consensus."""
+        return PathSelector(self.consensus(), self._path_rng)
+
+    # -- circuit construction ------------------------------------------------
+
+    def build_circuit(self, thread: SimThread,
+                      path: Optional[list[RelayDescriptor]] = None,
+                      length: int = 3,
+                      exit_to: Optional[tuple[str, int]] = None,
+                      final_hop: Optional[RelayDescriptor] = None,
+                      timeout: float = 120.0) -> Circuit:
+        """Build a circuit hop by hop (CREATE, then EXTENDs).
+
+        Either supply an explicit ``path`` or let the bandwidth-weighted
+        selector choose ``length`` relays, optionally constrained to exit
+        toward ``exit_to`` or to end at ``final_hop``.
+        """
+        if path is None:
+            if exit_to is not None:
+                exit_addr = self.network.resolve(exit_to[0])
+                exit_to = (exit_addr, exit_to[1])
+            selector = self.path_selector()
+            exclude: set[str] = set()
+            sticky = None
+            if self.use_entry_guard and length >= 2:
+                sticky = self._sticky_guard(selector)
+                if (final_hop is not None
+                        and final_hop.identity_fp == sticky.identity_fp):
+                    sticky = None     # the guard IS the target; rotate once
+                else:
+                    exclude.add(sticky.identity_fp)
+            path = selector.build_path(
+                length=length, exit_to=exit_to, final_hop=final_hop,
+                exclude=exclude)
+            if sticky is not None:
+                path[0] = sticky
+        if not path:
+            raise TorError("empty circuit path")
+
+        guard = path[0]
+        conn = self.network.connect_blocking(
+            thread, self.node, guard.address, guard.or_port, timeout=timeout)
+        circuit = Circuit(self, conn, next(self._circ_ids), path)
+        circuit.attach_connection()
+
+        # First hop: CREATE/CREATED.
+        state = ntor.NtorClientState(
+            self._rng.fork(f"ntor:{circuit.circ_id}:0"), guard.identity_fp)
+        created = circuit.send_raw_create(state.onionskin)
+        reply = thread.wait(created, timeout=timeout)
+        circuit.add_hop(HopCrypto(state.finish(reply[:ntor.REPLY_LEN]),
+                                  fast=self.fast_crypto))
+
+        # Remaining hops: EXTEND/EXTENDED through the partial circuit.
+        for position, relay in enumerate(path[1:], start=1):
+            state = ntor.NtorClientState(
+                self._rng.fork(f"ntor:{circuit.circ_id}:{position}"),
+                relay.identity_fp)
+            request = canonical_encode({
+                "address": relay.address,
+                "port": relay.or_port,
+                "onionskin": state.onionskin,
+            })
+            extended = circuit.expect_control(RelayCommand.EXTENDED)
+            failed = circuit.expect_control(RelayCommand.END)
+            circuit.send_relay(RelayCommand.EXTEND, 0, request)
+            # Wait on whichever control cell arrives first.
+            race = Future(self.sim)
+            extended.add_done_callback(
+                lambda fut: race.resolve(("extended", fut)) if not race.done else None)
+            failed.add_done_callback(
+                lambda fut: race.resolve(("end", fut)) if not race.done else None)
+            kind, fut = thread.wait(race, timeout=timeout)
+            if kind == "end":
+                circuit.close()
+                raise TorError(f"extend to {relay.nickname} failed")
+            info = fut.result()
+            circuit.add_hop(HopCrypto(
+                state.finish(info["data"][:ntor.REPLY_LEN]),
+                fast=self.fast_crypto))
+
+        self.circuits.append(circuit)
+        return circuit
+
+    def _sticky_guard(self, selector: PathSelector) -> RelayDescriptor:
+        """The client's persistent entry guard (chosen once)."""
+        if self._entry_guard is None:
+            self._entry_guard = selector.pick_guard()
+        return self._entry_guard
+
+    # -- streams --------------------------------------------------------------
+
+    def open_stream(self, thread: SimThread, circuit: Circuit, host: str,
+                    port: int, timeout: float = 120.0) -> TorStream:
+        """BEGIN a stream through an existing circuit."""
+        return circuit.open_stream(thread, host, port, timeout=timeout)
+
+    # -- hidden services: client side --------------------------------------------
+
+    def connect_to_hidden_service(self, thread: SimThread, onion_address: str,
+                                  timeout: float = 240.0,
+                                  intro_extra=None) -> Circuit:
+        """The full client rendezvous dance (§2.1).
+
+        Returns a circuit whose streams terminate at the hidden service.
+        ``intro_extra`` rides (encrypted) inside the INTRODUCE payload —
+        e.g. the proof-of-work the DDoS-defense function demands.  It may
+        be a dict, or a callable ``f(cookie) -> dict`` for extras that
+        must be bound to the rendezvous cookie (client puzzles).
+        """
+        descriptor = self.directory.fetch_hs_descriptor(onion_address)
+        if not descriptor.verify():
+            raise TorError(f"bad hidden-service descriptor for {onion_address}")
+        consensus = self.consensus()
+        selector = self.path_selector()
+
+        # 1. Establish a rendezvous point on a fresh circuit.
+        rp = selector.pick_middle()
+        rend_circuit = self.build_circuit(thread, final_hop=rp, timeout=timeout)
+        cookie = self._rng.randbytes(20)
+        established = rend_circuit.expect_control(
+            RelayCommand.RENDEZVOUS_ESTABLISHED)
+        rend_circuit.send_relay(RelayCommand.ESTABLISH_RENDEZVOUS, 0,
+                                canonical_encode({"cookie": cookie}))
+        thread.wait(established, timeout=timeout)
+
+        # 2. Introduce ourselves via one of the service's intro points.
+        intro_fp = self._rng.choice(descriptor.intro_points)
+        intro_relay = consensus.find(intro_fp)
+        intro_circuit = self.build_circuit(thread, final_hop=intro_relay,
+                                           timeout=timeout)
+        hs_state = ntor.NtorClientState(
+            self._rng.fork(f"hs:{onion_address}:{self.sim.now}"), onion_address)
+        if callable(intro_extra):
+            intro_extra = intro_extra(cookie)
+        intro_payload = canonical_encode({
+            "cookie": cookie,
+            "rp_address": rp.address,
+            "rp_port": rp.or_port,
+            "onionskin": hs_state.onionskin,
+            "extra": intro_extra or {},
+        })
+        # Encrypt the payload to the service key (hybrid RSA + AEAD).
+        service_key = descriptor.service_key
+        ephemeral = self._rng.randint(2, service_key.n - 2)
+        sealed = AeadKey(int_to_bytes(ephemeral)).seal(b"intro", intro_payload)
+        blob = canonical_encode({
+            "c": int_to_bytes(service_key.encrypt_int(ephemeral)),
+            "sealed": sealed,
+        })
+        ack = intro_circuit.expect_control(RelayCommand.INTRODUCE_ACK)
+        intro_circuit.send_relay(RelayCommand.INTRODUCE1, 0, canonical_encode({
+            "service": onion_address,
+            "blob": blob,
+        }))
+        ack_info = thread.wait(ack, timeout=timeout)
+        status = canonical_decode(ack_info["data"]).get("status")
+        intro_circuit.close()
+        if status != "ok":
+            rend_circuit.close()
+            raise TorError(f"introduction failed: {status}")
+
+        # 3. Wait for the service at the rendezvous point.
+        rend2 = rend_circuit.wait_control(thread, RelayCommand.RENDEZVOUS2,
+                                          timeout=timeout)
+        reply = canonical_decode(rend2["data"])["blob"]
+        keys = hs_state.finish(reply[:ntor.REPLY_LEN])
+        rend_circuit.attach_hs(HopCrypto(keys, fast=self.fast_crypto), HS_CLIENT)
+        return rend_circuit
+
+    # -- cover traffic --------------------------------------------------------------
+
+    def send_drop(self, circuit: Circuit, hop_index: Optional[int] = None,
+                  payload: bytes = b"") -> None:
+        """Send one RELAY_DROP (padding) cell to a chosen hop."""
+        circuit.send_relay(RelayCommand.DROP, 0, payload, hop_index=hop_index)
+
+    # -- teardown ----------------------------------------------------------------------
+
+    def close_all(self) -> None:
+        """Destroy every circuit this client built."""
+        for circuit in list(self.circuits):
+            circuit.close()
+        self.circuits.clear()

@@ -1,0 +1,140 @@
+"""The directory authority: signed consensus plus hidden-service directory.
+
+The live Tor network distributes these through directory caches and an
+HSDir ring; here a single in-process authority plays both roles (clients
+still verify every signature).  This collapses a distribution mechanism the
+paper does not measure while keeping all trust checks real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey
+from repro.tor.descriptor import (
+    FLAG_EXIT,
+    HiddenServiceDescriptor,
+    RelayDescriptor,
+)
+from repro.util.errors import ProtocolError, ReproError
+from repro.util.rng import DeterministicRandom
+from repro.util.serialization import canonical_encode
+
+
+class DirectoryError(ReproError):
+    """Raised for rejected registrations or missing entries."""
+
+
+@dataclass
+class Consensus:
+    """A signed snapshot of the relay population."""
+
+    routers: list[RelayDescriptor]
+    valid_after: float
+    signature: bytes = b""
+    authority_key: Optional[RsaPublicKey] = None
+
+    def _signed_body(self) -> bytes:
+        return canonical_encode({
+            "valid_after": self.valid_after,
+            "routers": [r.to_wire() for r in self.routers],
+        })
+
+    def verify(self, authority_key: RsaPublicKey) -> bool:
+        """Check the authority's signature over the router list."""
+        return authority_key.verify(self._signed_body(), self.signature)
+
+    def relays_with_flag(self, flag: str) -> list[RelayDescriptor]:
+        """All routers carrying a flag."""
+        return [r for r in self.routers if r.has_flag(flag)]
+
+    def exits_for(self, address: str, port: int) -> list[RelayDescriptor]:
+        """Relays whose exit policy admits ``address:port``."""
+        from repro.tor.exitpolicy import ExitPolicy
+
+        matching = []
+        for router in self.routers:
+            if not router.has_flag(FLAG_EXIT):
+                continue
+            policy = ExitPolicy.parse(router.exit_policy_text)
+            if policy.allows(address, port):
+                matching.append(router)
+        return matching
+
+    def find(self, identity_fp: str) -> RelayDescriptor:
+        """Look a router up by fingerprint."""
+        for router in self.routers:
+            if router.identity_fp == identity_fp:
+                return router
+        raise DirectoryError(f"no relay with fingerprint {identity_fp}")
+
+
+class DirectoryAuthority:
+    """Accepts descriptors, votes (alone), and serves the HSDir store."""
+
+    def __init__(self, rng: DeterministicRandom) -> None:
+        self._keypair = RsaKeyPair.generate(rng.fork("dirauth-key"))
+        self._relays: dict[str, RelayDescriptor] = {}
+        self._hs_descriptors: dict[str, HiddenServiceDescriptor] = {}
+        self._consensus_cache: Optional[Consensus] = None
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        """The verification key peers should pin."""
+        return self._keypair.public
+
+    # -- relay registration -------------------------------------------------
+
+    def register_relay(self, descriptor: RelayDescriptor) -> None:
+        """Accept a relay descriptor after verifying its self-signature."""
+        if not descriptor.verify():
+            raise DirectoryError(
+                f"descriptor signature invalid for {descriptor.nickname}"
+            )
+        self._relays[descriptor.identity_fp] = descriptor
+        self._consensus_cache = None
+
+    def unregister_relay(self, identity_fp: str) -> None:
+        """Drop a relay from future consensuses."""
+        self._relays.pop(identity_fp, None)
+        self._consensus_cache = None
+
+    def consensus(self, now: float = 0.0) -> Consensus:
+        """The current signed consensus (cached until membership changes)."""
+        if self._consensus_cache is None:
+            routers = sorted(self._relays.values(), key=lambda r: r.nickname)
+            consensus = Consensus(routers=routers, valid_after=now)
+            consensus.signature = self._keypair.sign(consensus._signed_body())
+            consensus.authority_key = self._keypair.public
+            self._consensus_cache = consensus
+        return self._consensus_cache
+
+    # -- hidden service directory ----------------------------------------------
+
+    def publish_hs_descriptor(self, descriptor: HiddenServiceDescriptor) -> None:
+        """Accept an HS descriptor: signature valid, address matches key,
+        and any replacement must be signed by the same key (first-come,
+        first-served ownership, like onion addresses themselves)."""
+        if not descriptor.verify():
+            raise DirectoryError("hidden-service descriptor signature invalid")
+        existing = self._hs_descriptors.get(descriptor.onion_address)
+        if existing is not None:
+            same_key = (existing.service_key_n == descriptor.service_key_n
+                        and existing.service_key_e == descriptor.service_key_e)
+            if not same_key:
+                raise DirectoryError("onion address already claimed by another key")
+            if descriptor.version <= existing.version:
+                raise ProtocolError("stale hidden-service descriptor version")
+        self._hs_descriptors[descriptor.onion_address] = descriptor
+
+    def fetch_hs_descriptor(self, onion_address: str) -> HiddenServiceDescriptor:
+        """The stored descriptor for an onion address."""
+        try:
+            return self._hs_descriptors[onion_address]
+        except KeyError:
+            raise DirectoryError(f"no descriptor for {onion_address}") from None
+
+    def remove_hs_descriptor(self, onion_address: str) -> None:
+        """Withdraw a hidden-service descriptor."""
+        self._hs_descriptors.pop(onion_address, None)

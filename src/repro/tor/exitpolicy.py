@@ -1,0 +1,173 @@
+"""Exit-node policies: ``accept``/``reject`` rules over address:port.
+
+The same grammar Tor uses, restricted to IPv4:
+
+    accept 10.1.0.0/16:80,443
+    reject *:25
+    accept *:*
+
+Rules are evaluated first-match.  Bento compiles these into per-container
+"iptables" rules (:mod:`repro.sandbox.iptables`) so functions can never
+reach destinations the relay's own exit policy forbids (§5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ReproError
+
+
+class ExitPolicyError(ReproError):
+    """Raised for unparseable policy text."""
+
+
+def _parse_ipv4(text: str) -> int:
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ExitPolicyError(f"bad IPv4 address: {text}")
+    value = 0
+    for part in parts:
+        try:
+            octet = int(part)
+        except ValueError as exc:
+            raise ExitPolicyError(f"bad IPv4 address: {text}") from exc
+        if not 0 <= octet <= 255:
+            raise ExitPolicyError(f"bad IPv4 address: {text}")
+        value = (value << 8) | octet
+    return value
+
+
+@dataclass(frozen=True)
+class PolicyRule:
+    """One accept/reject rule."""
+
+    accept: bool
+    network: int          # base address as int; 0 with prefix_len 0 means '*'
+    prefix_len: int
+    port_ranges: tuple[tuple[int, int], ...]   # inclusive (lo, hi) pairs
+
+    def matches(self, address: str, port: int) -> bool:
+        """Does this rule apply to ``address:port``?"""
+        if self.prefix_len > 0:
+            addr = _parse_ipv4(address)
+            shift = 32 - self.prefix_len
+            if (addr >> shift) != (self.network >> shift):
+                return False
+        return any(lo <= port <= hi for lo, hi in self.port_ranges)
+
+    def render(self) -> str:
+        """The rule back in Tor's textual form."""
+        verb = "accept" if self.accept else "reject"
+        if self.prefix_len == 0:
+            host = "*"
+        else:
+            octets = [(self.network >> s) & 0xFF for s in (24, 16, 8, 0)]
+            host = ".".join(str(o) for o in octets)
+            if self.prefix_len != 32:
+                host += f"/{self.prefix_len}"
+        ports = ",".join(
+            str(lo) if lo == hi else f"{lo}-{hi}" for lo, hi in self.port_ranges
+        )
+        if self.port_ranges == ((1, 65535),):
+            ports = "*"
+        return f"{verb} {host}:{ports}"
+
+
+def _parse_ports(text: str) -> tuple[tuple[int, int], ...]:
+    if text == "*":
+        return ((1, 65535),)
+    ranges: list[tuple[int, int]] = []
+    for piece in text.split(","):
+        lo_text, dash, hi_text = piece.partition("-")
+        try:
+            lo = int(lo_text)
+            hi = int(hi_text) if dash else lo
+        except ValueError as exc:
+            raise ExitPolicyError(f"bad port spec: {text}") from exc
+        if not (1 <= lo <= 65535 and lo <= hi <= 65535):
+            raise ExitPolicyError(f"port out of range: {piece}")
+        ranges.append((lo, hi))
+    if not ranges:
+        raise ExitPolicyError(f"empty port spec: {text}")
+    return tuple(ranges)
+
+
+def _parse_rule(line: str) -> PolicyRule:
+    parts = line.split()
+    if len(parts) != 2 or parts[0] not in ("accept", "reject"):
+        raise ExitPolicyError(f"bad policy rule: {line!r}")
+    accept = parts[0] == "accept"
+    host, colon, ports = parts[1].rpartition(":")
+    if not colon:
+        raise ExitPolicyError(f"missing port spec: {line!r}")
+    if host == "*":
+        network, prefix_len = 0, 0
+    else:
+        base, slash, plen_text = host.partition("/")
+        network = _parse_ipv4(base)
+        if slash:
+            try:
+                prefix_len = int(plen_text)
+            except ValueError as exc:
+                raise ExitPolicyError(f"bad prefix length: {line!r}") from exc
+            if not 0 < prefix_len <= 32:
+                raise ExitPolicyError(f"bad prefix length: {line!r}")
+        else:
+            prefix_len = 32
+    return PolicyRule(accept=accept, network=network, prefix_len=prefix_len,
+                      port_ranges=_parse_ports(ports))
+
+
+class ExitPolicy:
+    """An ordered list of rules with first-match semantics.
+
+    Unmatched traffic is rejected, mirroring Tor's implicit final
+    ``reject *:*``.
+    """
+
+    def __init__(self, rules: list[PolicyRule]) -> None:
+        self.rules = list(rules)
+
+    @classmethod
+    def parse(cls, text: str) -> "ExitPolicy":
+        """Parse newline- or comma-separated rule text."""
+        normalized = text.replace("\n", ";").replace(";", "\n")
+        lines = [line.strip() for line in normalized.splitlines() if line.strip()]
+        return cls([_parse_rule(line) for line in lines])
+
+    @classmethod
+    def accept_all(cls) -> "ExitPolicy":
+        """The policy of a fully open exit."""
+        return cls.parse("accept *:*")
+
+    @classmethod
+    def reject_all(cls) -> "ExitPolicy":
+        """The policy of a non-exit relay."""
+        return cls.parse("reject *:*")
+
+    @classmethod
+    def web_only(cls) -> "ExitPolicy":
+        """A common restrictive exit policy: web ports only."""
+        return cls.parse("accept *:80\naccept *:443\nreject *:*")
+
+    def allows(self, address: str, port: int) -> bool:
+        """First-match evaluation; default reject."""
+        if not 1 <= port <= 65535:
+            return False
+        for rule in self.rules:
+            if rule.matches(address, port):
+                return rule.accept
+        return False
+
+    @property
+    def is_exit(self) -> bool:
+        """Does any rule accept anything?"""
+        return any(rule.accept for rule in self.rules)
+
+    def render(self) -> str:
+        """The policy as newline-separated rule text."""
+        return "\n".join(rule.render() for rule in self.rules)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ExitPolicy) and self.rules == other.rules

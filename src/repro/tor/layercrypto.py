@@ -1,0 +1,131 @@
+"""Layered ("onion") relay-cell crypto and recognized/digest checking.
+
+Each hop holds a :class:`HopCrypto`: stateful forward and backward XOR
+stream ciphers plus rolling digest counters.  A client applies its hops'
+forward ciphers outermost-last; each relay applies its own once; whichever
+hop finds the cell *recognized* (leading zeros and a valid rolling digest)
+consumes it.
+
+Two modes share one interface:
+
+* ``real`` — SHA-256-CTR keystreams (the honest substitute for AES-CTR).
+* ``fast`` — a cached per-hop pad, one big-int XOR per cell.  Structurally
+  identical (payloads still mutate per layer, recognition/digests still
+  enforced) but ~20x faster; large-scale benchmarks use it.  This is a
+  simulation-performance knob only, never a security claim.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.crypto.kdf import hkdf
+from repro.crypto.stream import StreamCipher
+from repro.tor.cell import RELAY_PAYLOAD_SIZE, RelayCellPayload
+from repro.tor.ntor import CircuitKeys
+from repro.util.bytesutil import xor_bytes
+from repro.util.errors import ProtocolError
+
+FORWARD = "f"
+BACKWARD = "b"
+
+
+class _RealLayer:
+    """Stateful keystream XOR, independent per direction."""
+
+    def __init__(self, keys: CircuitKeys) -> None:
+        self._fwd = StreamCipher(keys.kf, nonce=b"layer-f")
+        self._bwd = StreamCipher(keys.kb, nonce=b"layer-b")
+
+    def forward(self, payload: bytes) -> bytes:
+        """Apply the forward-direction layer."""
+        return self._fwd.process(payload)
+
+    def backward(self, payload: bytes) -> bytes:
+        """Apply the backward-direction layer."""
+        return self._bwd.process(payload)
+
+
+class _FastLayer:
+    """Cached-pad XOR: one pad per direction, reused every cell."""
+
+    def __init__(self, keys: CircuitKeys) -> None:
+        self._fwd_pad = hkdf(keys.kf, info=b"fast-pad-f", length=RELAY_PAYLOAD_SIZE)
+        self._bwd_pad = hkdf(keys.kb, info=b"fast-pad-b", length=RELAY_PAYLOAD_SIZE)
+
+    def forward(self, payload: bytes) -> bytes:
+        """Apply the forward-direction layer."""
+        return xor_bytes(payload, self._fwd_pad)
+
+    def backward(self, payload: bytes) -> bytes:
+        """Apply the backward-direction layer."""
+        return xor_bytes(payload, self._bwd_pad)
+
+
+class HopCrypto:
+    """One hop's cipher state plus rolling digests for recognized cells.
+
+    The same class serves both the client's per-hop replica and the relay's
+    own state; XOR stream ciphers make encrypt and decrypt the same
+    operation at matching stream positions, and both stay in sync because
+    every forward cell crosses each hop exactly once (and symmetrically
+    backward).
+    """
+
+    def __init__(self, keys: CircuitKeys, fast: bool = False) -> None:
+        self._layer = _FastLayer(keys) if fast else _RealLayer(keys)
+        self._digest_keys = {FORWARD: keys.df, BACKWARD: keys.db}
+        self._send_seq = {FORWARD: 0, BACKWARD: 0}
+        self._recv_seq = {FORWARD: 0, BACKWARD: 0}
+
+    # -- layer cipher -----------------------------------------------------
+
+    def crypt_forward(self, payload: bytes) -> bytes:
+        """Apply this hop's forward layer (encrypt at client, strip at relay)."""
+        return self._layer.forward(payload)
+
+    def crypt_backward(self, payload: bytes) -> bytes:
+        """Apply this hop's backward layer."""
+        return self._layer.backward(payload)
+
+    # -- digests ---------------------------------------------------------
+
+    def _digest(self, direction: str, seq: int, payload_zero_digest: bytes) -> bytes:
+        material = (
+            self._digest_keys[direction]
+            + seq.to_bytes(8, "big")
+            + payload_zero_digest
+        )
+        return hashlib.sha256(material).digest()[:4]
+
+    def seal_payload(self, cell: RelayCellPayload, direction: str) -> bytes:
+        """Pack a relay payload with the next send digest for ``direction``."""
+        seq = self._send_seq[direction]
+        self._send_seq[direction] = seq + 1
+        zero = cell.pack()
+        digest = self._digest(direction, seq, zero)
+        return cell.pack(digest=digest)
+
+    def open_payload(self, payload: bytes, direction: str) -> RelayCellPayload | None:
+        """Recognition check: parse + verify digest, consuming one recv seq.
+
+        Returns the parsed payload if this hop is the intended endpoint,
+        else ``None`` (the caller forwards the cell on).  The receive
+        counter only advances on success, so unrecognized pass-through
+        cells never desynchronise the digest chain.
+        """
+        if not RelayCellPayload.looks_recognized(payload):
+            return None
+        try:
+            parsed = RelayCellPayload.unpack(payload)
+        except ProtocolError:
+            return None
+        zeroed = RelayCellPayload(
+            command=parsed.command, stream_id=parsed.stream_id, data=parsed.data
+        ).pack()
+        seq = self._recv_seq[FORWARD if direction == FORWARD else BACKWARD]
+        expected = self._digest(direction, seq, zeroed)
+        if expected != parsed.digest:
+            return None
+        self._recv_seq[direction] = seq + 1
+        return parsed

@@ -1,0 +1,93 @@
+"""Bandwidth-weighted path selection.
+
+Implements the constraints Tor's path selection enforces that matter for
+these experiments: distinct relays per circuit, Guard-flagged entries,
+exit-policy-compatible exits, and selection probability proportional to
+advertised bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.tor.descriptor import FLAG_BENTO, FLAG_GUARD, RelayDescriptor
+from repro.tor.directory import Consensus
+from repro.util.errors import ReproError
+from repro.util.rng import DeterministicRandom
+
+
+class PathSelectionError(ReproError):
+    """Raised when no relay satisfies the requested constraints."""
+
+
+class PathSelector:
+    """Chooses circuit paths from a verified consensus."""
+
+    def __init__(self, consensus: Consensus, rng: DeterministicRandom) -> None:
+        self.consensus = consensus
+        self._rng = rng
+
+    def _weighted_pick(self, candidates: Sequence[RelayDescriptor],
+                       exclude: set[str]) -> RelayDescriptor:
+        pool = [c for c in candidates if c.identity_fp not in exclude]
+        if not pool:
+            raise PathSelectionError("no eligible relay for this position")
+        weights = [max(c.bandwidth, 1.0) for c in pool]
+        return self._rng.weighted_choice(pool, weights)
+
+    def pick_guard(self, exclude: set[str] = frozenset()) -> RelayDescriptor:
+        """A Guard-flagged entry relay."""
+        guards = self.consensus.relays_with_flag(FLAG_GUARD)
+        return self._weighted_pick(guards, set(exclude))
+
+    def pick_middle(self, exclude: set[str] = frozenset()) -> RelayDescriptor:
+        """Any relay not already in the path."""
+        return self._weighted_pick(self.consensus.routers, set(exclude))
+
+    def pick_exit(self, address: Optional[str], port: Optional[int],
+                  exclude: set[str] = frozenset()) -> RelayDescriptor:
+        """An exit whose policy admits the target (any exit if no target)."""
+        if address is not None and port is not None:
+            candidates = self.consensus.exits_for(address, port)
+        else:
+            candidates = self.consensus.relays_with_flag("Exit")
+        return self._weighted_pick(candidates, set(exclude))
+
+    def pick_bento_box(self, exclude: set[str] = frozenset()) -> RelayDescriptor:
+        """A relay advertising a Bento server ("Alice ... chooses one at
+        random", §3)."""
+        boxes = self.consensus.relays_with_flag(FLAG_BENTO)
+        return self._weighted_pick(boxes, set(exclude))
+
+    def build_path(self, length: int = 3,
+                   exit_to: Optional[tuple[str, int]] = None,
+                   final_hop: Optional[RelayDescriptor] = None,
+                   exclude: set[str] = frozenset()) -> list[RelayDescriptor]:
+        """A full circuit path: guard, middles, exit (or a pinned final hop).
+
+        ``final_hop`` pins the last relay (used to reach a specific Bento
+        box, introduction point or rendezvous point); otherwise the last
+        hop is exit-policy selected when ``exit_to`` is given.
+        """
+        if length < 1:
+            raise PathSelectionError("circuits need at least one hop")
+        chosen: list[RelayDescriptor] = []
+        used: set[str] = set(exclude)
+        if final_hop is not None:
+            last = final_hop
+        elif exit_to is not None:
+            last = self.pick_exit(exit_to[0], exit_to[1], exclude=used)
+        else:
+            last = self.pick_exit(None, None, exclude=used)
+        used.add(last.identity_fp)
+
+        if length >= 2:
+            guard = self.pick_guard(exclude=used)
+            chosen.append(guard)
+            used.add(guard.identity_fp)
+        for _ in range(length - 2):
+            middle = self.pick_middle(exclude=used)
+            chosen.append(middle)
+            used.add(middle.identity_fp)
+        chosen.append(last)
+        return chosen

@@ -1,0 +1,549 @@
+"""Tor relays: circuit switching, extension, exit streams, hidden-service
+introduction and rendezvous.
+
+A relay is fully event-driven (it never blocks the simulator).  Per-circuit
+state lives in :class:`CircuitEntry`; per-exit-stream state in
+:class:`ExitStream`.  Flow control mirrors Tor's SENDME scheme: a 1000-cell
+circuit package window and 500-cell stream windows, replenished 100/50 at a
+time by SENDMEs from the consuming end.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.netsim.connection import Connection, ConnectionClosed, LoopbackConnection
+from repro.netsim.network import Network, NetworkError
+from repro.netsim.node import Node
+from repro.tor.cell import (
+    CELL_SIZE,
+    RELAY_DATA_SIZE,
+    Cell,
+    CellCommand,
+    RelayCellPayload,
+    RelayCommand,
+)
+from repro.tor.descriptor import (
+    FLAG_BENTO,
+    FLAG_EXIT,
+    OR_PORT,
+    RelayDescriptor,
+)
+from repro.tor.directory import DirectoryAuthority
+from repro.tor.exitpolicy import ExitPolicy
+from repro.tor.layercrypto import BACKWARD, FORWARD, HopCrypto
+from repro.tor import ntor
+from repro.crypto.rsa import RsaKeyPair
+from repro.util.errors import ProtocolError
+from repro.util.serialization import canonical_decode, canonical_encode
+
+CIRCUIT_PACKAGE_WINDOW = 1000
+CIRCUIT_SENDME_INCREMENT = 100
+STREAM_PACKAGE_WINDOW = 500
+STREAM_SENDME_INCREMENT = 50
+
+_conn_ids = itertools.count(1)
+
+
+def _conn_uid(conn: Connection) -> int:
+    """A stable unique id per connection (attached lazily)."""
+    uid = getattr(conn, "_tor_uid", None)
+    if uid is None:
+        uid = next(_conn_ids)
+        conn._tor_uid = uid  # type: ignore[attr-defined]
+    return uid
+
+
+class ExitStream:
+    """Exit-side state for one BEGUN stream: an external connection plus
+    backward-direction packaging with SENDME flow control."""
+
+    def __init__(self, relay: "Relay", entry: "CircuitEntry", stream_id: int,
+                 conn: Connection) -> None:
+        self.relay = relay
+        self.entry = entry
+        self.stream_id = stream_id
+        self.conn = conn
+        self.package_window = STREAM_PACKAGE_WINDOW
+        self.delivered_count = 0
+        self.pending: list[bytes] = []
+        self.open = True
+        endpoint = conn.endpoint_of(relay.node)
+        endpoint.on_message = self._on_external_message
+        endpoint.on_close = self._on_external_close
+
+    # -- external -> client (backward) -------------------------------------
+
+    def _on_external_message(self, _conn: Connection, payload: object,
+                             _size: int) -> None:
+        if not isinstance(payload, (bytes, bytearray)) or not self.open:
+            return
+        data = bytes(payload)
+        for offset in range(0, len(data), RELAY_DATA_SIZE):
+            self.pending.append(data[offset:offset + RELAY_DATA_SIZE])
+        self.pump()
+
+    def pump(self) -> None:
+        """Send queued chunks backward while both windows allow."""
+        while (self.pending and self.open
+               and self.package_window > 0 and self.entry.package_window > 0):
+            chunk = self.pending.pop(0)
+            self.package_window -= 1
+            self.entry.package_window -= 1
+            self.relay._reply(self.entry, RelayCellPayload(
+                command=RelayCommand.DATA, stream_id=self.stream_id, data=chunk))
+
+    def _on_external_close(self, _conn: Connection) -> None:
+        if not self.open:
+            return
+        if self.pending:
+            # Flush whatever flow control permits, then END.
+            self.pump()
+        self.open = False
+        self.relay._reply(self.entry, RelayCellPayload(
+            command=RelayCommand.END, stream_id=self.stream_id,
+            data=canonical_encode({"reason": "done"})))
+        self.entry.streams.pop(self.stream_id, None)
+
+    # -- client -> external (forward) ----------------------------------------
+
+    def deliver_forward(self, data: bytes) -> None:
+        """Write client bytes into the external connection; account SENDMEs."""
+        if not self.open:
+            return
+        try:
+            self.conn.send(self.relay.node, data)
+        except ConnectionClosed:
+            self._on_external_close(self.conn)
+            return
+        self.delivered_count += 1
+        if self.delivered_count % STREAM_SENDME_INCREMENT == 0:
+            self.relay._reply(self.entry, RelayCellPayload(
+                command=RelayCommand.SENDME, stream_id=self.stream_id, data=b""))
+
+    def close(self) -> None:
+        """Tear down from the circuit side."""
+        self.open = False
+        self.conn.close()
+
+
+class CircuitEntry:
+    """One relay's state for one circuit passing through it."""
+
+    def __init__(self, conn_prev: Connection, circ_id_prev: int,
+                 crypto: HopCrypto) -> None:
+        self.conn_prev = conn_prev
+        self.circ_id_prev = circ_id_prev
+        self.crypto = crypto
+        self.conn_next: Optional[Connection] = None
+        self.circ_id_next: Optional[int] = None
+        self.streams: dict[int, ExitStream] = {}
+        self.joined: Optional["CircuitEntry"] = None      # rendezvous splice
+        self.intro_for: Optional[str] = None              # intro circuit key
+        self.package_window = CIRCUIT_PACKAGE_WINDOW      # backward budget
+        self.forward_count = 0                            # for circuit SENDMEs
+        self.destroyed = False
+
+
+class Relay:
+    """A Tor relay bound to a simulator node."""
+
+    def __init__(self, network: Network, node: Node, nickname: str,
+                 exit_policy: Optional[ExitPolicy] = None,
+                 flags: tuple[str, ...] = (),
+                 bento_port: Optional[int] = None,
+                 fast_crypto: bool = False,
+                 or_port: int = OR_PORT) -> None:
+        self.network = network
+        self.node = node
+        self.sim = node.sim
+        self.nickname = nickname
+        self.or_port = or_port
+        self.exit_policy = exit_policy or ExitPolicy.reject_all()
+        self.fast_crypto = fast_crypto
+        self._rng = self.sim.rng.fork(f"relay:{nickname}")
+        self.identity = RsaKeyPair.generate(self._rng.fork("identity"))
+        self.flags = tuple(flags)
+        self.bento_port = bento_port
+        # (conn uid, circ_id) -> (entry, side); side is "prev" or "next".
+        self._routes: dict[tuple[int, int], tuple[CircuitEntry, str]] = {}
+        self._or_conns: dict[str, Connection] = {}   # conns this relay dialed
+        self._pending_creates: dict[tuple[int, int], CircuitEntry] = {}
+        self._intro_circuits: dict[str, CircuitEntry] = {}
+        self._rend_waiting: dict[bytes, CircuitEntry] = {}
+        self._circ_id_counter = itertools.count(1)
+        node.listen(or_port, self._accept)
+
+    # -- registration --------------------------------------------------------
+
+    @property
+    def fingerprint(self) -> str:
+        """This relay's identity fingerprint."""
+        return self.identity.public.fingerprint()
+
+    def descriptor(self) -> RelayDescriptor:
+        """Build and sign this relay's descriptor."""
+        flags = set(self.flags)
+        if self.exit_policy.is_exit:
+            flags.add(FLAG_EXIT)
+        if self.bento_port is not None:
+            flags.add(FLAG_BENTO)
+        bandwidth = min(self.node.uplink.rate, self.node.downlink.rate)
+        descriptor = RelayDescriptor(
+            nickname=self.nickname,
+            address=self.node.address,
+            or_port=self.or_port,
+            identity_fp=self.fingerprint,
+            bandwidth=bandwidth,
+            exit_policy_text=self.exit_policy.render(),
+            flags=tuple(sorted(flags)),
+            bento_port=self.bento_port,
+        )
+        descriptor.sign(self.identity)
+        return descriptor
+
+    def register_with(self, authority: DirectoryAuthority) -> None:
+        """Publish this relay's descriptor."""
+        authority.register_relay(self.descriptor())
+
+    # -- connection plumbing ---------------------------------------------------
+
+    def _accept(self, conn: Connection) -> None:
+        conn.endpoint_of(self.node).on_message = self._on_message
+        conn.endpoint_of(self.node).on_close = self._on_conn_close
+
+    def _on_conn_close(self, conn: Connection) -> None:
+        uid = _conn_uid(conn)
+        dead = [key for key in self._routes if key[0] == uid]
+        for key in dead:
+            entry, _side = self._routes[key]
+            self._destroy_entry(entry, notify_prev=True, notify_next=True)
+
+    def _on_message(self, conn: Connection, payload: object, _size: int) -> None:
+        if not isinstance(payload, Cell):
+            return  # not a cell; a relay ignores stray traffic
+        cell = payload
+        try:
+            self._dispatch_cell(conn, cell)
+        except ProtocolError:
+            self._send_destroy(conn, cell.circ_id)
+
+    def _dispatch_cell(self, conn: Connection, cell: Cell) -> None:
+        key = (_conn_uid(conn), cell.circ_id)
+        if cell.command == CellCommand.CREATE:
+            self._handle_create(conn, cell)
+            return
+        if cell.command == CellCommand.CREATED:
+            self._handle_created(conn, cell)
+            return
+        route = self._routes.get(key)
+        if route is None:
+            return  # stale cell for a torn-down circuit
+        entry, side = route
+        if cell.command == CellCommand.DESTROY:
+            self._destroy_entry(entry, notify_prev=(side == "next"),
+                                notify_next=(side == "prev"))
+            return
+        if cell.command == CellCommand.RELAY:
+            if side == "prev":
+                self._relay_forward(entry, cell)
+            else:
+                self._relay_backward(entry, cell)
+
+    # -- circuit creation ------------------------------------------------------
+
+    def _handle_create(self, conn: Connection, cell: Cell) -> None:
+        keys, reply = ntor.server_respond(
+            self._rng.fork(f"ntor:{cell.circ_id}:{self.sim.now}"),
+            self.fingerprint,
+            cell.payload,
+        )
+        entry = CircuitEntry(conn_prev=conn, circ_id_prev=cell.circ_id,
+                             crypto=HopCrypto(keys, fast=self.fast_crypto))
+        self._routes[(_conn_uid(conn), cell.circ_id)] = (entry, "prev")
+        self._send_cell(conn, Cell(cell.circ_id, CellCommand.CREATED, reply))
+
+    def _handle_created(self, conn: Connection, cell: Cell) -> None:
+        key = (_conn_uid(conn), cell.circ_id)
+        entry = self._pending_creates.pop(key, None)
+        if entry is None or entry.destroyed:
+            return
+        entry.conn_next = conn
+        entry.circ_id_next = cell.circ_id
+        self._routes[key] = (entry, "next")
+        # Hand the CREATED payload back to the client as EXTENDED.
+        self._reply(entry, RelayCellPayload(
+            command=RelayCommand.EXTENDED, stream_id=0,
+            data=cell.payload[:ntor.REPLY_LEN]))
+
+    # -- relay cell processing ---------------------------------------------------
+
+    def _relay_forward(self, entry: CircuitEntry, cell: Cell) -> None:
+        payload = entry.crypto.crypt_forward(cell.payload)
+        parsed = entry.crypto.open_payload(payload, FORWARD)
+        if parsed is not None:
+            self._handle_recognized(entry, parsed)
+            return
+        if entry.conn_next is not None:
+            self._send_cell(entry.conn_next,
+                            Cell(entry.circ_id_next, CellCommand.RELAY, payload))
+            return
+        if entry.joined is not None:
+            peer = entry.joined
+            if not peer.destroyed:
+                spliced = peer.crypto.crypt_backward(payload)
+                self._send_cell(peer.conn_prev,
+                                Cell(peer.circ_id_prev, CellCommand.RELAY, spliced))
+            return
+        raise ProtocolError("unrecognized relay cell at end of circuit")
+
+    def _relay_backward(self, entry: CircuitEntry, cell: Cell) -> None:
+        payload = entry.crypto.crypt_backward(cell.payload)
+        self._send_cell(entry.conn_prev,
+                        Cell(entry.circ_id_prev, CellCommand.RELAY, payload))
+
+    def _handle_recognized(self, entry: CircuitEntry,
+                           parsed: RelayCellPayload) -> None:
+        handler = {
+            RelayCommand.EXTEND: self._cmd_extend,
+            RelayCommand.BEGIN: self._cmd_begin,
+            RelayCommand.DATA: self._cmd_data,
+            RelayCommand.END: self._cmd_end,
+            RelayCommand.SENDME: self._cmd_sendme,
+            RelayCommand.DROP: self._cmd_drop,
+            RelayCommand.ESTABLISH_INTRO: self._cmd_establish_intro,
+            RelayCommand.INTRODUCE1: self._cmd_introduce1,
+            RelayCommand.ESTABLISH_RENDEZVOUS: self._cmd_establish_rendezvous,
+            RelayCommand.RENDEZVOUS1: self._cmd_rendezvous1,
+        }.get(parsed.command)
+        if handler is None:
+            raise ProtocolError(f"relay cannot handle {parsed.command.name}")
+        handler(entry, parsed)
+
+    # -- relay commands -----------------------------------------------------------
+
+    def _cmd_extend(self, entry: CircuitEntry, parsed: RelayCellPayload) -> None:
+        request = canonical_decode(parsed.data)
+        address, port = request["address"], int(request["port"])
+        onionskin = request["onionskin"]
+        new_circ_id = next(self._circ_id_counter) | (1 << 16)
+
+        def _with_conn(conn: Connection) -> None:
+            if entry.destroyed:
+                return
+            key = (_conn_uid(conn), new_circ_id)
+            self._pending_creates[key] = entry
+            self._send_cell(conn, Cell(new_circ_id, CellCommand.CREATE, onionskin))
+
+        cached = self._or_conns.get(f"{address}:{port}")
+        if cached is not None and not cached.closed:
+            _with_conn(cached)
+            return
+
+        future = self.network.connect(self.node, address, port)
+
+        def _connected(fut) -> None:
+            try:
+                conn = fut.result()
+            except NetworkError:
+                self._reply(entry, RelayCellPayload(
+                    command=RelayCommand.END, stream_id=0,
+                    data=canonical_encode({"reason": "extend-failed"})))
+                return
+            self._or_conns[f"{address}:{port}"] = conn
+            conn.endpoint_of(self.node).on_message = self._on_message
+            conn.endpoint_of(self.node).on_close = self._on_conn_close
+            _with_conn(conn)
+
+        future.add_done_callback(_connected)
+
+    def _cmd_begin(self, entry: CircuitEntry, parsed: RelayCellPayload) -> None:
+        request = canonical_decode(parsed.data)
+        host, port = request["host"], int(request["port"])
+        stream_id = parsed.stream_id
+        try:
+            address = self.network.resolve(host)
+        except NetworkError:
+            self._end_stream(entry, stream_id, "resolve-failed")
+            return
+        # The "localhost" exception (§5): a relay running a Bento server
+        # lets circuits reach that one port on itself even when its exit
+        # policy rejects everything else.
+        is_local_bento = (address == self.node.address
+                          and self.bento_port is not None
+                          and port == self.bento_port)
+        if not is_local_bento and not self.exit_policy.allows(address, port):
+            self._end_stream(entry, stream_id, "exit-policy")
+            return
+        if is_local_bento:
+            # Loopback to the co-resident Bento server: no NIC involved.
+            handler = self.node.listener_for(port)
+            if handler is None:
+                self._end_stream(entry, stream_id, "connect-refused")
+                return
+            exit_side, server_side = LoopbackConnection.create(self.sim, self.node)
+            entry.streams[stream_id] = ExitStream(self, entry, stream_id,
+                                                  exit_side)
+            handler(server_side)
+            self._reply(entry, RelayCellPayload(
+                command=RelayCommand.CONNECTED, stream_id=stream_id,
+                data=canonical_encode({"address": address})))
+            return
+        handshake_rtts = 2.0 if port == 443 else 1.0
+        future = self.network.connect(self.node, address, port,
+                                      handshake_rtts=handshake_rtts)
+
+        def _connected(fut) -> None:
+            if entry.destroyed:
+                return
+            try:
+                conn = fut.result()
+            except NetworkError:
+                self._end_stream(entry, stream_id, "connect-refused")
+                return
+            entry.streams[stream_id] = ExitStream(self, entry, stream_id, conn)
+            self._reply(entry, RelayCellPayload(
+                command=RelayCommand.CONNECTED, stream_id=stream_id,
+                data=canonical_encode({"address": address})))
+
+        future.add_done_callback(_connected)
+
+    def _cmd_data(self, entry: CircuitEntry, parsed: RelayCellPayload) -> None:
+        stream = entry.streams.get(parsed.stream_id)
+        if stream is None:
+            return  # stream already ended; drop late data
+        stream.deliver_forward(parsed.data)
+        entry.forward_count += 1
+        if entry.forward_count % CIRCUIT_SENDME_INCREMENT == 0:
+            self._reply(entry, RelayCellPayload(
+                command=RelayCommand.SENDME, stream_id=0, data=b""))
+
+    def _cmd_end(self, entry: CircuitEntry, parsed: RelayCellPayload) -> None:
+        stream = entry.streams.pop(parsed.stream_id, None)
+        if stream is not None:
+            stream.close()
+
+    def _cmd_sendme(self, entry: CircuitEntry, parsed: RelayCellPayload) -> None:
+        if parsed.stream_id == 0:
+            entry.package_window += CIRCUIT_SENDME_INCREMENT
+            for stream in list(entry.streams.values()):
+                stream.pump()
+        else:
+            stream = entry.streams.get(parsed.stream_id)
+            if stream is not None:
+                stream.package_window += STREAM_SENDME_INCREMENT
+                stream.pump()
+
+    def _cmd_drop(self, entry: CircuitEntry, parsed: RelayCellPayload) -> None:
+        """Long-range padding: absorbed silently (this is the point)."""
+
+    # -- hidden-service commands ----------------------------------------------------
+
+    def _cmd_establish_intro(self, entry: CircuitEntry,
+                             parsed: RelayCellPayload) -> None:
+        request = canonical_decode(parsed.data)
+        auth_key = request["auth"]
+        entry.intro_for = auth_key
+        self._intro_circuits[auth_key] = entry
+        self._reply(entry, RelayCellPayload(
+            command=RelayCommand.INTRO_ESTABLISHED, stream_id=0, data=b""))
+
+    def _cmd_introduce1(self, entry: CircuitEntry,
+                        parsed: RelayCellPayload) -> None:
+        request = canonical_decode(parsed.data)
+        intro_entry = self._intro_circuits.get(request["service"])
+        if intro_entry is None or intro_entry.destroyed:
+            self._reply(entry, RelayCellPayload(
+                command=RelayCommand.INTRODUCE_ACK, stream_id=0,
+                data=canonical_encode({"status": "no-such-service"})))
+            return
+        self._reply(intro_entry, RelayCellPayload(
+            command=RelayCommand.INTRODUCE2, stream_id=0,
+            data=canonical_encode({"blob": request["blob"]})))
+        self._reply(entry, RelayCellPayload(
+            command=RelayCommand.INTRODUCE_ACK, stream_id=0,
+            data=canonical_encode({"status": "ok"})))
+
+    def _cmd_establish_rendezvous(self, entry: CircuitEntry,
+                                  parsed: RelayCellPayload) -> None:
+        request = canonical_decode(parsed.data)
+        cookie = request["cookie"]
+        self._rend_waiting[cookie] = entry
+        self._reply(entry, RelayCellPayload(
+            command=RelayCommand.RENDEZVOUS_ESTABLISHED, stream_id=0, data=b""))
+
+    def _cmd_rendezvous1(self, entry: CircuitEntry,
+                         parsed: RelayCellPayload) -> None:
+        request = canonical_decode(parsed.data)
+        client_entry = self._rend_waiting.pop(request["cookie"], None)
+        if client_entry is None or client_entry.destroyed:
+            raise ProtocolError("rendezvous cookie unknown")
+        entry.joined = client_entry
+        client_entry.joined = entry
+        self._reply(client_entry, RelayCellPayload(
+            command=RelayCommand.RENDEZVOUS2, stream_id=0,
+            data=canonical_encode({"blob": request["blob"]})))
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _end_stream(self, entry: CircuitEntry, stream_id: int, reason: str) -> None:
+        self._reply(entry, RelayCellPayload(
+            command=RelayCommand.END, stream_id=stream_id,
+            data=canonical_encode({"reason": reason})))
+
+    def _reply(self, entry: CircuitEntry, cell: RelayCellPayload) -> None:
+        """Send a relay cell backward from this hop toward the client."""
+        if entry.destroyed:
+            return
+        payload = entry.crypto.seal_payload(cell, BACKWARD)
+        payload = entry.crypto.crypt_backward(payload)
+        self._send_cell(entry.conn_prev,
+                        Cell(entry.circ_id_prev, CellCommand.RELAY, payload))
+
+    def _send_cell(self, conn: Connection, cell: Cell) -> None:
+        try:
+            conn.send(self.node, cell, size=CELL_SIZE)
+        except ConnectionClosed:
+            pass  # teardown races are benign in the simulator
+
+    def _send_destroy(self, conn: Connection, circ_id: int) -> None:
+        try:
+            conn.send(self.node, Cell(circ_id, CellCommand.DESTROY, b""),
+                      size=CELL_SIZE)
+        except ConnectionClosed:
+            pass
+
+    def _destroy_entry(self, entry: CircuitEntry, notify_prev: bool,
+                       notify_next: bool) -> None:
+        if entry.destroyed:
+            return
+        entry.destroyed = True
+        for stream in list(entry.streams.values()):
+            stream.close()
+        entry.streams.clear()
+        if entry.intro_for is not None:
+            self._intro_circuits.pop(entry.intro_for, None)
+        self._rend_waiting = {
+            cookie: waiting for cookie, waiting in self._rend_waiting.items()
+            if waiting is not entry
+        }
+        if notify_prev and entry.conn_prev is not None:
+            self._send_destroy(entry.conn_prev, entry.circ_id_prev)
+        if notify_next and entry.conn_next is not None:
+            self._send_destroy(entry.conn_next, entry.circ_id_next)
+        self._routes.pop((_conn_uid(entry.conn_prev), entry.circ_id_prev), None)
+        if entry.conn_next is not None:
+            self._routes.pop((_conn_uid(entry.conn_next), entry.circ_id_next), None)
+        if entry.joined is not None and not entry.joined.destroyed:
+            peer, entry.joined = entry.joined, None
+            peer.joined = None
+            self._destroy_entry(peer, notify_prev=True, notify_next=True)
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def active_circuit_count(self) -> int:
+        """Number of live circuit entries at this relay."""
+        entries = {id(entry) for entry, _side in self._routes.values()}
+        return len(entries)

@@ -1,0 +1,58 @@
+"""Byte-string helpers used throughout the crypto and wire layers."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """Return the byte-wise XOR of two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError(f"xor_bytes length mismatch: {len(a)} != {len(b)}")
+    # int XOR is ~50x faster than a per-byte loop for cell-sized buffers.
+    return (int.from_bytes(a, "big") ^ int.from_bytes(b, "big")).to_bytes(len(a), "big")
+
+
+def int_to_bytes(value: int, length: int | None = None) -> bytes:
+    """Encode a non-negative integer big-endian.
+
+    When ``length`` is omitted the minimal number of bytes is used
+    (at least one, so ``0`` encodes as ``b"\\x00"``).
+    """
+    if value < 0:
+        raise ValueError("int_to_bytes requires a non-negative integer")
+    if length is None:
+        length = max(1, (value.bit_length() + 7) // 8)
+    return value.to_bytes(length, "big")
+
+
+def int_from_bytes(data: bytes) -> int:
+    """Decode a big-endian unsigned integer."""
+    return int.from_bytes(data, "big")
+
+
+def chunk_bytes(data: bytes, size: int) -> Iterator[bytes]:
+    """Yield consecutive chunks of ``data``, each at most ``size`` bytes.
+
+    The final chunk may be shorter.  ``size`` must be positive.
+    """
+    if size <= 0:
+        raise ValueError("chunk size must be positive")
+    for offset in range(0, len(data), size):
+        yield data[offset:offset + size]
+
+
+def pad_to_multiple(data: bytes, multiple: int, filler: bytes = b"\x00") -> bytes:
+    """Pad ``data`` with ``filler`` bytes up to the next multiple of ``multiple``.
+
+    Data whose length is already an exact multiple is returned unchanged.
+    ``filler`` must be a single byte.
+    """
+    if multiple <= 0:
+        raise ValueError("pad multiple must be positive")
+    if len(filler) != 1:
+        raise ValueError("filler must be a single byte")
+    remainder = len(data) % multiple
+    if remainder == 0:
+        return data
+    return data + filler * (multiple - remainder)

@@ -1,0 +1,17 @@
+"""Base exception hierarchy for the whole reproduction.
+
+Every package defines its own exceptions derived from :class:`ReproError`
+so callers can catch "anything this library raises" with one except clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class ProtocolError(ReproError):
+    """A peer sent a message that violates the protocol state machine."""

@@ -1,0 +1,86 @@
+"""Seeded randomness for simulations.
+
+Every stochastic choice in the simulator flows through a
+:class:`DeterministicRandom` so experiments are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class DeterministicRandom:
+    """A thin, explicit wrapper around :class:`random.Random`.
+
+    Provides the handful of operations the simulator needs, plus
+    :meth:`fork` for handing independent-but-reproducible streams to
+    sub-components.
+    """
+
+    def __init__(self, seed: int | str = 0) -> None:
+        self.seed = seed
+        self._random = random.Random(repr(seed))
+
+    def fork(self, label: str) -> "DeterministicRandom":
+        """Return an independent RNG derived from this one's seed and a label."""
+        return DeterministicRandom(f"{self.seed}/{label}")
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self._random.random()
+
+    def uniform(self, lo: float, hi: float) -> float:
+        """Uniform float in [lo, hi]."""
+        return self._random.uniform(lo, hi)
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in [lo, hi] inclusive."""
+        return self._random.randint(lo, hi)
+
+    def randbytes(self, n: int) -> bytes:
+        """n uniformly random bytes."""
+        return self._random.randbytes(n)
+
+    def getrandbits(self, n: int) -> int:
+        """A uniformly random integer with ``n`` random bits."""
+        return self._random.getrandbits(n)
+
+    def choice(self, seq: Sequence[T]) -> T:
+        """One uniformly random element of a non-empty sequence."""
+        return self._random.choice(seq)
+
+    def sample(self, seq: Sequence[T], k: int) -> list[T]:
+        """k distinct elements sampled without replacement."""
+        return self._random.sample(seq, k)
+
+    def shuffle(self, items: list) -> None:
+        """Shuffle a list in place."""
+        self._random.shuffle(items)
+
+    def weighted_choice(self, items: Sequence[T], weights: Sequence[float]) -> T:
+        """One element drawn with probability proportional to its weight."""
+        if len(items) != len(weights):
+            raise ValueError("items and weights must have equal length")
+        if not items:
+            raise ValueError("weighted_choice on empty sequence")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        point = self._random.random() * total
+        cumulative = 0.0
+        for item, weight in zip(items, weights):
+            cumulative += weight
+            if point < cumulative:
+                return item
+        return items[-1]
+
+    def expovariate(self, rate: float) -> float:
+        """Exponentially distributed float with the given rate."""
+        return self._random.expovariate(rate)
+
+    def gauss(self, mu: float, sigma: float) -> float:
+        """Normally distributed float."""
+        return self._random.gauss(mu, sigma)

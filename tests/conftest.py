@@ -1,0 +1,33 @@
+"""Shared fixtures: small, fast networks reused across test modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.server import BentoServer
+from repro.enclave.attestation import IntelAttestationService
+from repro.tor.testnet import TorTestNetwork
+
+
+@pytest.fixture()
+def testnet():
+    """A fresh 9-relay Tor network (function-scoped: tests mutate it)."""
+    return TorTestNetwork(n_relays=9, seed="pytest")
+
+
+@pytest.fixture()
+def bento_net():
+    """A network with Bento boxes, servers, and an IAS, ready for clients."""
+    net = TorTestNetwork(n_relays=9, seed="pytest-bento", bento_fraction=0.34)
+    ias = IntelAttestationService(net.sim.rng.fork("ias"))
+    servers = [BentoServer(relay, net.authority, ias=ias)
+               for relay in net.bento_boxes()]
+    net.ias = ias
+    net.bento_servers = servers
+    return net
+
+
+def run_thread(net, fn, name="test", until=None):
+    """Spawn ``fn`` as a sim-thread and run the simulation to completion."""
+    thread = net.sim.spawn(fn, name=name)
+    return net.sim.run_until_done(thread, until=until)

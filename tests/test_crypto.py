@@ -1,0 +1,193 @@
+"""Unit tests for the crypto substrate: KDF, stream, AEAD, DH, RSA."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.aead import AeadError, AeadKey
+from repro.crypto.dh import DH_GROUP_MODP_2048, DiffieHellman
+from repro.crypto.kdf import hkdf, hkdf_expand, hkdf_extract
+from repro.crypto.rsa import RsaError, RsaKeyPair
+from repro.crypto.stream import StreamCipher, stream_xor
+from repro.util.rng import DeterministicRandom
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return RsaKeyPair.generate(DeterministicRandom("rsa-test"))
+
+
+class TestHkdf:
+    def test_deterministic(self):
+        assert hkdf(b"ikm", info=b"i") == hkdf(b"ikm", info=b"i")
+
+    def test_info_separates(self):
+        assert hkdf(b"ikm", info=b"a") != hkdf(b"ikm", info=b"b")
+
+    def test_salt_separates(self):
+        assert hkdf(b"ikm", salt=b"a") != hkdf(b"ikm", salt=b"b")
+
+    def test_length(self):
+        assert len(hkdf(b"x", length=100)) == 100
+
+    def test_rfc5869_shape(self):
+        prk = hkdf_extract(b"salt", b"ikm")
+        assert len(prk) == 32
+        okm = hkdf_expand(prk, b"info", 64)
+        assert len(okm) == 64
+        # expansion is prefix-consistent
+        assert hkdf_expand(prk, b"info", 32) == okm[:32]
+
+    def test_bad_length(self):
+        with pytest.raises(ValueError):
+            hkdf_expand(b"k" * 32, b"", 0)
+        with pytest.raises(ValueError):
+            hkdf_expand(b"k" * 32, b"", 255 * 32 + 1)
+
+
+class TestStreamCipher:
+    def test_roundtrip_stateful(self):
+        enc = StreamCipher(b"k" * 16, b"n")
+        dec = StreamCipher(b"k" * 16, b"n")
+        for chunk in (b"one", b"two two", b"", b"three" * 100):
+            assert dec.process(enc.process(chunk)) == chunk
+
+    def test_keys_differ(self):
+        assert (stream_xor(b"a" * 16, b"n", b"data")
+                != stream_xor(b"b" * 16, b"n", b"data"))
+
+    def test_nonces_differ(self):
+        assert (stream_xor(b"k" * 16, b"n1", b"data")
+                != stream_xor(b"k" * 16, b"n2", b"data"))
+
+    def test_short_key_rejected(self):
+        with pytest.raises(ValueError):
+            StreamCipher(b"short")
+
+    @given(st.binary(max_size=2000))
+    def test_one_shot_roundtrip(self, data):
+        key = b"K" * 32
+        assert stream_xor(key, b"n", stream_xor(key, b"n", data)) == data
+
+
+class TestAead:
+    def test_roundtrip(self):
+        key = AeadKey(b"m" * 32)
+        sealed = key.seal(b"nonce", b"payload", aad=b"hdr")
+        assert key.open(b"nonce", sealed, aad=b"hdr") == b"payload"
+
+    def test_tamper_detected(self):
+        key = AeadKey(b"m" * 32)
+        sealed = bytearray(key.seal(b"n", b"payload"))
+        sealed[0] ^= 1
+        with pytest.raises(AeadError):
+            key.open(b"n", bytes(sealed))
+
+    def test_wrong_nonce_rejected(self):
+        key = AeadKey(b"m" * 32)
+        with pytest.raises(AeadError):
+            key.open(b"n2", key.seal(b"n1", b"payload"))
+
+    def test_wrong_aad_rejected(self):
+        key = AeadKey(b"m" * 32)
+        with pytest.raises(AeadError):
+            key.open(b"n", key.seal(b"n", b"p", aad=b"a"), aad=b"b")
+
+    def test_wrong_key_rejected(self):
+        sealed = AeadKey(b"m" * 32).seal(b"n", b"p")
+        with pytest.raises(AeadError):
+            AeadKey(b"x" * 32).open(b"n", sealed)
+
+    def test_truncated_rejected(self):
+        key = AeadKey(b"m" * 32)
+        with pytest.raises(AeadError):
+            key.open(b"n", b"short")
+
+    @given(st.binary(max_size=1000), st.binary(min_size=1, max_size=16))
+    @settings(max_examples=25)
+    def test_roundtrip_property(self, plaintext, nonce):
+        key = AeadKey(b"prop" * 8)
+        assert key.open(nonce, key.seal(nonce, plaintext)) == plaintext
+
+
+class TestDiffieHellman:
+    def test_agreement(self):
+        rng = DeterministicRandom("dh")
+        a, b = DiffieHellman(rng), DiffieHellman(rng)
+        assert a.shared_secret(b.public) == b.shared_secret(a.public)
+
+    def test_agreement_2048(self):
+        rng = DeterministicRandom("dh2048")
+        a = DiffieHellman(rng, modulus=DH_GROUP_MODP_2048)
+        b = DiffieHellman(rng, modulus=DH_GROUP_MODP_2048)
+        assert a.shared_secret(b.public) == b.shared_secret(a.public)
+
+    def test_public_bytes_roundtrip(self):
+        rng = DeterministicRandom("dh2")
+        a, b = DiffieHellman(rng), DiffieHellman(rng)
+        assert a.shared_secret(b.public_bytes) == b.shared_secret(a.public_bytes)
+
+    def test_distinct_parties_distinct_secrets(self):
+        rng = DeterministicRandom("dh3")
+        a, b, c = (DiffieHellman(rng) for _ in range(3))
+        assert a.shared_secret(b.public) != a.shared_secret(c.public)
+
+    def test_degenerate_public_rejected(self):
+        rng = DeterministicRandom("dh4")
+        a = DiffieHellman(rng)
+        for bad in (0, 1):
+            with pytest.raises(ValueError):
+                a.shared_secret(bad)
+
+
+class TestRsa:
+    def test_sign_verify(self, keypair):
+        signature = keypair.sign(b"message")
+        assert keypair.public.verify(b"message", signature)
+
+    def test_verify_rejects_other_message(self, keypair):
+        signature = keypair.sign(b"message")
+        assert not keypair.public.verify(b"other", signature)
+
+    def test_verify_rejects_mangled_signature(self, keypair):
+        signature = bytearray(keypair.sign(b"message"))
+        signature[3] ^= 0x40
+        assert not keypair.public.verify(b"message", bytes(signature))
+
+    def test_verify_rejects_wrong_key(self, keypair):
+        other = RsaKeyPair.generate(DeterministicRandom("other"))
+        assert not other.public.verify(b"m", keypair.sign(b"m"))
+
+    def test_encrypt_decrypt_int(self, keypair):
+        message = 123456789
+        assert keypair.decrypt_int(keypair.public.encrypt_int(message)) == message
+
+    def test_encrypt_range_checked(self, keypair):
+        with pytest.raises(RsaError):
+            keypair.public.encrypt_int(keypair.public.n)
+
+    def test_blind_signature_roundtrip(self, keypair):
+        rng = DeterministicRandom("blind")
+        blinded, unblinder = keypair.public.blind(b"token", rng)
+        signature = keypair.public.unblind(keypair.blind_sign(blinded), unblinder)
+        assert keypair.public.verify(b"token", signature)
+
+    def test_blind_signature_unlinkable_bytes(self, keypair):
+        # The signer sees `blinded`, which reveals nothing recognizable
+        # about the token: two blindings of the same token differ.
+        rng = DeterministicRandom("blind2")
+        b1, _ = keypair.public.blind(b"token", rng)
+        b2, _ = keypair.public.blind(b"token", rng)
+        assert b1 != b2
+
+    def test_export_import_parts(self, keypair):
+        clone = RsaKeyPair.from_parts(keypair.export_parts())
+        assert keypair.public.verify(b"x", clone.sign(b"x"))
+
+    def test_fingerprint_stable_and_distinct(self, keypair):
+        other = RsaKeyPair.generate(DeterministicRandom("fp-other"))
+        assert keypair.public.fingerprint() == keypair.public.fingerprint()
+        assert keypair.public.fingerprint() != other.public.fingerprint()
+
+    def test_tiny_keys_rejected(self):
+        with pytest.raises(RsaError):
+            RsaKeyPair.generate(DeterministicRandom("tiny"), bits=64)

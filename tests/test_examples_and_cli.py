@@ -1,0 +1,70 @@
+"""Smoke tests: the examples and the CLI actually run end to end.
+
+Each example is executed in-process (import + main()) with its output
+captured, so a broken example fails the suite rather than rotting.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run_example(name: str, capsys) -> str:
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = _run_example("quickstart", capsys)
+        assert "attested enclave measurement" in out
+        assert "Hello, world!" in out
+
+    def test_dropbox_shard(self, capsys):
+        out = _run_example("dropbox_shard", capsys)
+        assert "recovered all" in out
+        assert "file intact" in out
+
+    @pytest.mark.slow
+    def test_cover_traffic(self, capsys):
+        out = _run_example("cover_traffic", capsys)
+        assert "never goes quiet" in out
+
+    @pytest.mark.slow
+    def test_browser_defense(self, capsys):
+        out = _run_example("browser_defense", capsys)
+        assert "unmodified Tor" in out and "accuracy" in out.lower()
+
+    @pytest.mark.slow
+    def test_hidden_service_loadbalancer(self, capsys):
+        out = _run_example("hidden_service_loadbalancer", capsys)
+        assert "mean download" in out
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "quickstart" in out and "fingerprint" in out
+
+    def test_quickstart_scenario(self, capsys):
+        from repro.cli import main
+
+        assert main(["quickstart", "--seed", "5"]) == 0
+        assert "function said" in capsys.readouterr().out
+
+    def test_unknown_scenario_rejected(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["no-such-scenario"])

@@ -1,0 +1,65 @@
+"""Confusion matrices and open-world fingerprinting evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.fingerprint.classifier import (
+    KnnClassifier,
+    confusion_matrix,
+    evaluate_open_world,
+)
+
+
+def _clustered_dataset(n_classes=8, per_class=12, noise=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(n_classes, 16))
+    X = np.vstack([centers[c] + noise * rng.normal(size=(per_class, 16))
+                   for c in range(n_classes)])
+    y = np.repeat(np.arange(n_classes), per_class)
+    return X, y
+
+
+class TestConfusionMatrix:
+    def test_diagonal_dominates_when_separable(self):
+        X, y = _clustered_dataset()
+        labels, counts = confusion_matrix(KnnClassifier(k=3), X, y)
+        assert counts.trace() / counts.sum() > 0.9
+        assert list(labels) == list(range(8))
+
+    def test_rows_sum_to_test_counts(self):
+        X, y = _clustered_dataset(per_class=10)
+        _labels, counts = confusion_matrix(KnnClassifier(k=3), X, y,
+                                           train_fraction=0.7)
+        assert counts.sum(axis=1).tolist() == [3] * 8   # 10 - 7 per class
+
+    def test_noise_spreads_off_diagonal(self):
+        X, y = _clustered_dataset(noise=50.0)
+        _labels, counts = confusion_matrix(KnnClassifier(k=3), X, y)
+        assert counts.trace() / counts.sum() < 0.5
+
+
+class TestOpenWorld:
+    def test_monitored_sites_detected(self):
+        X, y = _clustered_dataset(n_classes=10, per_class=12)
+        result = evaluate_open_world(KnnClassifier(k=3), X, y,
+                                     monitored={0, 1, 2})
+        assert result["tpr"] > 0.85
+        assert result["fpr"] < 0.2
+        assert result["monitored_accuracy"] > 0.8
+
+    def test_indistinguishable_traces_confuse_attacker(self):
+        """All-identical features (full padding): the attacker cannot
+        separate monitored from background traffic."""
+        X = np.zeros((120, 16))
+        y = np.repeat(np.arange(10), 12)
+        result = evaluate_open_world(KnnClassifier(k=3), X, y,
+                                     monitored={0, 1, 2})
+        # Whatever it predicts, it cannot have both high TPR and low FPR.
+        assert not (result["tpr"] > 0.8 and result["fpr"] < 0.3)
+
+    def test_no_monitored_traffic_edge(self):
+        X, y = _clustered_dataset(n_classes=4)
+        result = evaluate_open_world(KnnClassifier(k=3), X, y,
+                                     monitored={99})   # never visited
+        assert result["tpr"] == 0.0
+        assert result["monitored_accuracy"] == 0.0

@@ -1,0 +1,90 @@
+"""Unit tests for byte helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.bytesutil import (
+    chunk_bytes,
+    int_from_bytes,
+    int_to_bytes,
+    pad_to_multiple,
+    xor_bytes,
+)
+
+
+class TestXorBytes:
+    def test_xor_roundtrip(self):
+        a, b = b"hello world!", b"KEYKEYKEYKEY"
+        assert xor_bytes(xor_bytes(a, b), b) == a
+
+    def test_xor_with_zeros_is_identity(self):
+        data = bytes(range(256))
+        assert xor_bytes(data, bytes(256)) == data
+
+    def test_xor_empty(self):
+        assert xor_bytes(b"", b"") == b""
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            xor_bytes(b"abc", b"ab")
+
+    @given(st.binary(min_size=0, max_size=600))
+    def test_self_xor_is_zero(self, data):
+        assert xor_bytes(data, data) == bytes(len(data))
+
+
+class TestIntCoding:
+    def test_zero_encodes_to_one_byte(self):
+        assert int_to_bytes(0) == b"\x00"
+
+    def test_explicit_length(self):
+        assert int_to_bytes(1, 4) == b"\x00\x00\x00\x01"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bytes(-1)
+
+    @given(st.integers(min_value=0, max_value=2**256))
+    def test_roundtrip(self, value):
+        assert int_from_bytes(int_to_bytes(value)) == value
+
+
+class TestChunkBytes:
+    def test_exact_division(self):
+        assert list(chunk_bytes(b"abcdef", 2)) == [b"ab", b"cd", b"ef"]
+
+    def test_remainder_chunk(self):
+        assert list(chunk_bytes(b"abcde", 2)) == [b"ab", b"cd", b"e"]
+
+    def test_empty_input(self):
+        assert list(chunk_bytes(b"", 4)) == []
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            list(chunk_bytes(b"abc", 0))
+
+    @given(st.binary(max_size=500), st.integers(min_value=1, max_value=64))
+    def test_reassembly(self, data, size):
+        assert b"".join(chunk_bytes(data, size)) == data
+
+
+class TestPadToMultiple:
+    def test_already_aligned(self):
+        assert pad_to_multiple(b"abcd", 4) == b"abcd"
+
+    def test_pads_up(self):
+        assert pad_to_multiple(b"abc", 4) == b"abc\x00"
+
+    def test_empty_stays_empty(self):
+        assert pad_to_multiple(b"", 8) == b""
+
+    def test_custom_filler(self):
+        assert pad_to_multiple(b"a", 3, filler=b"x") == b"axx"
+
+    def test_bad_filler(self):
+        with pytest.raises(ValueError):
+            pad_to_multiple(b"a", 3, filler=b"xy")
+
+    @given(st.binary(max_size=300), st.integers(min_value=1, max_value=50))
+    def test_result_is_multiple(self, data, multiple):
+        assert len(pad_to_multiple(data, multiple)) % multiple == 0
