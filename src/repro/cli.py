@@ -55,9 +55,36 @@ def _scenario_fingerprint(seed: int) -> None:
         print(f"{label:16s} attack accuracy {accuracy * 100:5.1f}%")
 
 
+def _scenario_perf_report(seed: int) -> None:
+    """Run the quickstart scenario with the perf harness on, then report.
+
+    Set ``REPRO_PROFILE=1`` to additionally capture a cProfile of the
+    event loop (printed after the counter table).
+    """
+    from repro.perf import (
+        active_profile,
+        counters,
+        profile_to_text,
+        render_report,
+        timed_section,
+    )
+    from repro.perf.timing import reset_sections
+
+    counters.reset()
+    reset_sections()
+    with timed_section("quickstart"):
+        _scenario_quickstart(seed)
+    print()
+    print(render_report())
+    if active_profile() is not None:
+        print()
+        print(profile_to_text())
+
+
 SCENARIOS = {
     "quickstart": _scenario_quickstart,
     "fingerprint": _scenario_fingerprint,
+    "perf-report": _scenario_perf_report,
 }
 
 

@@ -4,13 +4,26 @@ Stands in for AES-CTR in the circuit onion layers and FS Protect.  The
 keystream is ``SHA256(key || nonce || counter)`` blocks; like AES-CTR it is
 a stateful XOR stream, so encrypt and decrypt are the same operation and
 each (key, nonce) pair must never be reused for independent messages.
+
+Keystream blocks are generated in batches into a single buffer consumed by
+an offset cursor; repeated small reads (one 509-byte cell at a time) no
+longer pay one ``hashlib`` round trip per 32-byte block plus quadratic
+byte-string concatenation.  The emitted keystream is byte-for-byte
+identical to generating block by block.
 """
 
 from __future__ import annotations
 
 import hashlib
 
+from repro.perf.counters import counters as _perf
+
 _BLOCK = 32
+# Blocks generated per refill: 4 KiB of keystream, enough for eight relay
+# cells per hashlib batch while keeping tiny ciphers cheap.
+_BATCH_BLOCKS = 128
+
+_sha256 = hashlib.sha256
 
 
 class StreamCipher:
@@ -21,32 +34,73 @@ class StreamCipher:
     like the per-hop AES-CTR state in a real Tor circuit.
     """
 
+    __slots__ = ("_prefix", "_counter", "_buf", "_pos")
+
     def __init__(self, key: bytes, nonce: bytes = b"") -> None:
         if len(key) < 16:
             raise ValueError("stream cipher key must be at least 16 bytes")
-        self._prefix = hashlib.sha256(b"stream:" + key + b":" + nonce).digest()
+        self._prefix = _sha256(b"stream:" + key + b":" + nonce).digest()
         self._counter = 0
-        self._buffer = b""
+        self._buf = b""
+        self._pos = 0
 
-    def _refill(self) -> None:
-        block = hashlib.sha256(
-            self._prefix + self._counter.to_bytes(8, "big")
-        ).digest()
-        self._counter += 1
-        self._buffer += block
+    def _extend(self, need: int) -> None:
+        """Grow the buffer so at least ``need`` unread bytes are available."""
+        blocks = max(_BATCH_BLOCKS, -(-need // _BLOCK))
+        prefix = self._prefix
+        counter = self._counter
+        chunks = [
+            _sha256(prefix + c.to_bytes(8, "big")).digest()
+            for c in range(counter, counter + blocks)
+        ]
+        self._counter = counter + blocks
+        unread = self._buf[self._pos:]
+        self._buf = unread + b"".join(chunks) if unread else b"".join(chunks)
+        self._pos = 0
+        _perf.hash_calls += blocks
+        _perf.keystream_bytes += blocks * _BLOCK
 
     def keystream(self, n: int) -> bytes:
         """Return the next ``n`` keystream bytes, advancing the state."""
-        while len(self._buffer) < n:
-            self._refill()
-        out, self._buffer = self._buffer[:n], self._buffer[n:]
-        return out
+        pos = self._pos
+        if len(self._buf) - pos < n:
+            self._extend(n)
+            pos = 0
+        end = pos + n
+        self._pos = end
+        return self._buf[pos:end]
 
     def process(self, data: bytes) -> bytes:
         """Encrypt or decrypt ``data`` (XOR with the next keystream bytes)."""
-        ks = self.keystream(len(data))
         n = len(data)
-        return (int.from_bytes(data, "big") ^ int.from_bytes(ks, "big")).to_bytes(n, "big") if n else b""
+        if not n:
+            return b""
+        ks = self.keystream(n)
+        return (int.from_bytes(data, "big") ^ int.from_bytes(ks, "big")).to_bytes(n, "big")
+
+    def process_many(self, messages: list[bytes]) -> list[bytes]:
+        """Process consecutive messages with one keystream pull and one XOR.
+
+        Equivalent to ``[self.process(m) for m in messages]`` — the
+        keystream is consumed in the same order — but the whole batch costs
+        a single big-int XOR, which is what makes multi-cell relay
+        forwarding cheap.
+        """
+        if len(messages) < 2:
+            return [self.process(m) for m in messages]
+        data = b"".join(messages)
+        n = len(data)
+        if not n:
+            return [b"" for _ in messages]
+        ks = self.keystream(n)
+        out = (int.from_bytes(data, "big") ^ int.from_bytes(ks, "big")).to_bytes(n, "big")
+        result = []
+        offset = 0
+        for message in messages:
+            end = offset + len(message)
+            result.append(out[offset:end])
+            offset = end
+        return result
 
 
 def stream_xor(key: bytes, nonce: bytes, data: bytes) -> bytes:

@@ -16,6 +16,7 @@ pipe.
 from __future__ import annotations
 
 import struct
+from collections import deque
 from typing import Optional, Protocol
 
 from repro.netsim.connection import Connection, ConnectionClosed
@@ -30,8 +31,15 @@ class ByteStream(Protocol):
         """Queue bytes for the peer."""
         ...  # pragma: no cover - protocol stub
 
-    def recv(self, thread: SimThread, timeout: Optional[float] = None) -> bytes:
-        """Block until some bytes arrive; ``b''`` signals EOF."""
+    def recv(self, thread: SimThread, timeout: Optional[float] = None,
+             min_bytes: int = 1) -> bytes:
+        """Block until at least ``min_bytes`` bytes (or EOF) arrive.
+
+        ``b''`` signals EOF.  ``min_bytes`` is a wake-up hint: readers that
+        know how many bytes they need (e.g. a framer mid-frame) avoid one
+        wake-per-chunk on large transfers.  Implementations may return
+        fewer bytes at EOF.
+        """
         ...  # pragma: no cover - protocol stub
 
     def close(self) -> None:
@@ -48,14 +56,18 @@ class _RecvQueue:
 
     def __init__(self, sim) -> None:
         self._sim = sim
-        self._chunks: list[bytes] = []
+        self._chunks: deque[bytes] = deque()
+        self._size = 0
+        self._target = 1
         self._eof = False
         self._waiter: Optional[Future] = None
 
     def push(self, data: bytes) -> None:
         """Queue received bytes for the reader."""
         self._chunks.append(data)
-        self._wake()
+        self._size += len(data)
+        if self._size >= self._target:
+            self._wake()
 
     def push_eof(self) -> None:
         """Mark end-of-stream; blocked readers wake with b''."""
@@ -66,14 +78,40 @@ class _RecvQueue:
         if self._waiter is not None and not self._waiter.done:
             self._waiter.resolve(None)
 
-    def pop(self, thread: SimThread, timeout: Optional[float]) -> bytes:
-        """Block until bytes (or EOF) are available."""
+    def pop(self, thread: SimThread, timeout: Optional[float],
+            min_bytes: int = 1) -> bytes:
+        """Block until ``min_bytes`` bytes (or EOF) are available.
+
+        With the default ``min_bytes=1`` this returns exactly one queued
+        chunk (preserving message boundaries for legacy callers).  With a
+        larger hint, the reader only wakes once enough bytes are buffered
+        and all buffered chunks are returned joined — on a multi-megabyte
+        transfer that removes one sim-thread wake-up per network chunk.
+        """
+        if min_bytes > 1:
+            self._target = min_bytes
+            while self._size < min_bytes and not self._eof:
+                self._waiter = Future(self._sim)
+                thread.wait(self._waiter, timeout=timeout)
+                self._waiter = None
+            self._target = 1
+            if not self._chunks:
+                return b""  # EOF
+            if len(self._chunks) == 1:
+                data = self._chunks.popleft()
+            else:
+                data = b"".join(self._chunks)
+                self._chunks.clear()
+            self._size = 0
+            return data
         while not self._chunks and not self._eof:
             self._waiter = Future(self._sim)
             thread.wait(self._waiter, timeout=timeout)
             self._waiter = None
         if self._chunks:
-            return self._chunks.pop(0)
+            data = self._chunks.popleft()
+            self._size -= len(data)
+            return data
         return b""  # EOF
 
 
@@ -99,9 +137,10 @@ class DirectByteStream:
         if data:
             self.conn.send(self.local, bytes(data))
 
-    def recv(self, thread: SimThread, timeout: Optional[float] = None) -> bytes:
-        """Block until the next chunk arrives; b'' at EOF."""
-        return self._recv.pop(thread, timeout)
+    def recv(self, thread: SimThread, timeout: Optional[float] = None,
+             min_bytes: int = 1) -> bytes:
+        """Block until ``min_bytes`` bytes arrive; b'' at EOF."""
+        return self._recv.pop(thread, timeout, min_bytes)
 
     def close(self) -> None:
         """Close the stream/connection."""
@@ -150,6 +189,21 @@ class Framer:
         """Bytes buffered but not yet forming a complete frame."""
         return len(self._buffer)
 
+    @property
+    def needed_bytes(self) -> int:
+        """How many more bytes must arrive to complete the current frame.
+
+        Used as a ``min_bytes`` receive hint.  Always at least 1; once the
+        header is buffered, this knows the full frame length.
+        """
+        buffered = len(self._buffer)
+        if buffered < self._HEADER.size:
+            return self._HEADER.size - buffered
+        (length,) = self._HEADER.unpack_from(self._buffer, 0)
+        if length > self.MAX_FRAME:
+            return 1  # feed() will raise on the next chunk regardless
+        return max(1, self._HEADER.size + length - buffered)
+
 
 class FramedStream:
     """Message-oriented view of a byte stream (length-prefixed frames)."""
@@ -169,7 +223,8 @@ class FramedStream:
         if self._ready:
             return self._ready.pop(0)
         while True:
-            data = self.stream.recv(thread, timeout=timeout)
+            data = self.stream.recv(thread, timeout=timeout,
+                                    min_bytes=self._framer.needed_bytes)
             if data == b"":
                 return None
             frames = self._framer.feed(data)

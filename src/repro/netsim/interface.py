@@ -5,6 +5,14 @@ Each :class:`~repro.netsim.node.Node` has one transmit and one receive
 concurrent flows share it FIFO, which (with per-flow pacing in
 :class:`~repro.netsim.connection.Connection`) yields approximately fair
 bandwidth sharing — the property the Figure 5 experiment depends on.
+
+An interface may also carry one *bulk transfer* (see
+:class:`~repro.netsim.connection._BulkTransfer`): a multi-chunk message
+whose per-chunk event cascade has been folded into a couple of precomputed
+events.  The invariant that keeps fairness intact is enforced here: any
+:meth:`transmit` call on an interface with an active bulk preempts the
+bulk *first*, rolling the interface back to exactly the state the chunked
+cascade would have produced, before the new chunk is serialized.
 """
 
 from __future__ import annotations
@@ -12,6 +20,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.netsim.simulator import Simulator
+from repro.perf.counters import counters as _perf
 
 
 class Interface:
@@ -26,29 +35,37 @@ class Interface:
         self._busy_until = 0.0
         self.bytes_total = 0
         self._taps: list[Callable[[float, int], None]] = []
+        self._bulk = None   # active _BulkTransfer, if any
 
     def add_tap(self, tap: Callable[[float, int], None]) -> None:
         """Register ``tap(completion_time, nbytes)`` for every chunk serialized."""
         self._taps.append(tap)
 
     def transmit(self, nbytes: int, then: Optional[Callable] = None,
-                 extra_delay: float = 0.0) -> float:
+                 extra_delay: float = 0.0, then_args: tuple = ()) -> float:
         """Serialize ``nbytes`` through this interface.
 
         Returns the simulated completion time, and (if given) schedules
-        ``then()`` at completion plus ``extra_delay`` (used for propagation
-        latency).  Zero-byte transmissions are legal and take no line time.
+        ``then(*then_args)`` at completion plus ``extra_delay`` (used for
+        propagation latency).  Zero-byte transmissions are legal and take
+        no line time.
         """
         if nbytes < 0:
             raise ValueError("cannot transmit a negative size")
+        if self._bulk is not None:
+            # Contention: demote the in-flight coalesced transfer to the
+            # chunked path before this chunk claims line time.
+            self._bulk.preempt()
         start = max(self.sim.now, self._busy_until)
         finish = start + nbytes / self.rate
         self._busy_until = finish
         self.bytes_total += nbytes
-        for tap in self._taps:
-            tap(finish, nbytes)
+        _perf.chunks_transmitted += 1
+        if self._taps:
+            for tap in self._taps:
+                tap(finish, nbytes)
         if then is not None:
-            self.sim.schedule_at(finish + extra_delay, then)
+            self.sim.schedule_at(finish + extra_delay, then, *then_args)
         return finish
 
     @property

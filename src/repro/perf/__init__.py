@@ -1,0 +1,29 @@
+"""Wall-clock performance instrumentation for the simulator hot paths.
+
+The simulator's *results* are functions of simulated time only; this
+package watches the other axis — how much real CPU those results cost.
+Three tools, all zero-dependency and cheap enough to stay on permanently:
+
+* :data:`counters` — global :class:`~repro.perf.counters.PerfCounters`
+  incremented by the event loop, the interfaces, and the stream cipher.
+* :func:`timed_section` — a context manager accumulating wall-clock time
+  per named section (used by the benchmarks and ``perf-report``).
+* :mod:`repro.perf.profiling` — an opt-in cProfile hook around
+  :meth:`~repro.netsim.simulator.Simulator.run`.
+"""
+
+from repro.perf.counters import PerfCounters, counters
+from repro.perf.profiling import active_profile, install_profile, profile_to_text
+from repro.perf.report import render_report
+from repro.perf.timing import section_times, timed_section
+
+__all__ = [
+    "PerfCounters",
+    "counters",
+    "timed_section",
+    "section_times",
+    "install_profile",
+    "active_profile",
+    "profile_to_text",
+    "render_report",
+]

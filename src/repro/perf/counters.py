@@ -1,0 +1,44 @@
+"""Global performance counters.
+
+A single module-level :data:`counters` object is incremented directly
+(``counters.hash_calls += n``) from the hot paths; plain attribute adds on
+a ``__slots__`` instance are the cheapest instrumentation Python offers,
+so the counters stay enabled even in production runs.
+"""
+
+from __future__ import annotations
+
+_FIELDS = (
+    "events_processed",    # events dispatched by Simulator.run
+    "events_scheduled",    # events pushed onto the heap
+    "heap_compactions",    # lazy-deletion garbage collections of the heap
+    "chunks_transmitted",  # individual Interface.transmit calls
+    "chunks_coalesced",    # chunks folded into bulk transfers
+    "bulk_grants",         # coalesced transfers started
+    "bulk_preemptions",    # coalesced transfers demoted to chunked
+    "hash_calls",          # SHA-256 invocations in StreamCipher keystreams
+    "keystream_bytes",     # keystream bytes consumed
+    "cells_crypted",       # relay-cell layer applications (any direction)
+)
+
+
+class PerfCounters:
+    """A bag of integer counters; see :data:`_FIELDS` for meanings."""
+
+    __slots__ = _FIELDS
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for field in _FIELDS:
+            setattr(self, field, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        """Current values as a plain dict (stable field order)."""
+        return {field: getattr(self, field) for field in _FIELDS}
+
+
+#: The process-wide counter instance the hot paths increment.
+counters = PerfCounters()

@@ -1,0 +1,51 @@
+"""Opt-in cProfile hook for the simulator event loop.
+
+Profiling costs 2-3x wall clock, so it is off unless explicitly installed
+(or the ``REPRO_PROFILE`` environment variable is set).  When active,
+:meth:`~repro.netsim.simulator.Simulator.run` brackets its event loop with
+``enable()``/``disable()`` so only simulation work is measured, not test
+or benchmark scaffolding.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import os
+import pstats
+from typing import Optional
+
+_profile: Optional[cProfile.Profile] = None
+
+
+def install_profile(profile: Optional[cProfile.Profile] = None) -> cProfile.Profile:
+    """Install (and return) the profile the event loop should feed."""
+    global _profile
+    _profile = profile if profile is not None else cProfile.Profile()
+    return _profile
+
+
+def uninstall_profile() -> Optional[cProfile.Profile]:
+    """Remove and return the installed profile, if any."""
+    global _profile
+    profile, _profile = _profile, None
+    return profile
+
+
+def active_profile() -> Optional[cProfile.Profile]:
+    """The installed profile, honouring ``REPRO_PROFILE=1`` on first use."""
+    if _profile is None and os.environ.get("REPRO_PROFILE"):
+        install_profile()
+    return _profile
+
+
+def profile_to_text(profile: Optional[cProfile.Profile] = None,
+                    limit: int = 25) -> str:
+    """Render a profile (default: the installed one) as a stats table."""
+    profile = profile if profile is not None else _profile
+    if profile is None:
+        return "(no profile installed; set REPRO_PROFILE=1 or call install_profile())"
+    buffer = io.StringIO()
+    stats = pstats.Stats(profile, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(limit)
+    return buffer.getvalue()

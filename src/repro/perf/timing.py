@@ -1,0 +1,31 @@
+"""Wall-clock section timing.
+
+``with timed_section("build"):`` accumulates real elapsed seconds into
+:data:`section_times` keyed by name.  Sections nest and repeat; times add
+up, which is what the benchmark reports want.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+#: Accumulated wall-clock seconds per section name.
+section_times: dict[str, float] = {}
+
+
+@contextmanager
+def timed_section(name: str) -> Iterator[None]:
+    """Accumulate the wall-clock duration of the body under ``name``."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        section_times[name] = section_times.get(name, 0.0) + elapsed
+
+
+def reset_sections() -> None:
+    """Forget all accumulated section times."""
+    section_times.clear()

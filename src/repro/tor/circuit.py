@@ -16,6 +16,7 @@ direction and the service its BACKWARD direction.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from typing import Callable, Optional
 
 from repro.netsim.connection import Connection, ConnectionClosed
@@ -23,13 +24,14 @@ from repro.netsim.simulator import Future, SimThread
 from repro.tor.cell import (
     CELL_SIZE,
     RELAY_DATA_SIZE,
+    RELAY_PAYLOAD_SIZE,
     Cell,
     CellCommand,
     RelayCellPayload,
     RelayCommand,
 )
 from repro.tor.descriptor import RelayDescriptor
-from repro.tor.layercrypto import BACKWARD, FORWARD, HopCrypto
+from repro.tor.layercrypto import BACKWARD, FORWARD, HopCrypto, _FastLayer
 from repro.tor.relay import (
     CIRCUIT_PACKAGE_WINDOW,
     CIRCUIT_SENDME_INCREMENT,
@@ -73,10 +75,12 @@ class Circuit:
         self._control_backlog: dict[RelayCommand, list[dict]] = {}
         # Flow control for data the owner *sends* (forward direction).
         self.package_window = CIRCUIT_PACKAGE_WINDOW
-        self._pending_data: list[tuple[int, bytes]] = []
+        self._pending_data: deque[tuple[int, bytes]] = deque()
         self._delivered_forward = 0     # received DATA cells, for SENDMEs
         self.cells_sent = 0
         self.cells_received = 0
+        # Fast-mode backward unwrap cache; see _fast_backward_state().
+        self._fast_bwd: Optional[tuple] = None
 
     # -- wiring ------------------------------------------------------------
 
@@ -152,19 +156,52 @@ class Circuit:
         self._pump_data()
 
     def _pump_data(self) -> None:
+        # Drain everything the windows allow into one batch, then seal and
+        # onion-encrypt the burst with one keystream pull per hop.  Wire
+        # bytes and send order are identical to cell-at-a-time pumping;
+        # windows cannot replenish mid-drain (SENDMEs arrive via events).
+        batch: list[tuple[int, bytes]] = []
         while self._pending_data and self.package_window > 0:
             stream_id, chunk = self._pending_data[0]
             stream = self.streams.get(stream_id)
             if stream is None:
-                self._pending_data.pop(0)
+                self._pending_data.popleft()
                 continue
             if stream.package_window <= 0:
                 break  # head-of-line stream is stalled; wait for its SENDME
-            self._pending_data.pop(0)
+            self._pending_data.popleft()
             stream.package_window -= 1
             self.package_window -= 1
-            self.send_relay(RelayCommand.DATA, stream_id, chunk,
-                            to_hs=self.hs_crypto is not None)
+            batch.append((stream_id, chunk))
+        if batch:
+            self._send_data_many(batch)
+
+    def _send_data_many(self, batch: list[tuple[int, bytes]]) -> None:
+        """Seal and send a burst of DATA cells (same wire bytes as
+        :meth:`send_relay` per cell, one cipher batch per hop)."""
+        if self.destroyed:
+            raise CircuitDestroyed("circuit is destroyed")
+        to_hs = self.hs_crypto is not None
+        cells = [RelayCellPayload(command=RelayCommand.DATA,
+                                  stream_id=stream_id, data=chunk)
+                 for stream_id, chunk in batch]
+        if to_hs:
+            hs = self.hs_crypto
+            if self.hs_role == HS_CLIENT:
+                payloads = [hs.seal_payload(cell, FORWARD) for cell in cells]
+                payloads = hs.crypt_forward_many(payloads)
+            else:
+                payloads = [hs.seal_payload(cell, BACKWARD) for cell in cells]
+                payloads = hs.crypt_backward_many(payloads)
+            hop_index = len(self.hops) - 1
+        else:
+            hop_index = self.endpoint_hop_index
+            payloads = [self.hops[hop_index].seal_payload(cell, FORWARD)
+                        for cell in cells]
+        for index in range(hop_index, -1, -1):
+            payloads = self.hops[index].crypt_forward_many(payloads)
+        for payload in payloads:
+            self._send_cell(Cell(self.circ_id, CellCommand.RELAY, payload))
 
     # -- control-cell rendezvous ----------------------------------------------
 
@@ -208,13 +245,60 @@ class Circuit:
             return
         self._process_relay(cell.payload)
 
+    def _fast_backward_state(self) -> Optional[tuple]:
+        """Cumulative backward pads for the all-fast-hops unwrap shortcut.
+
+        With :class:`_FastLayer` hops, the payload after unwrapping hops
+        ``0..i`` is ``p XOR cum_i`` for a fixed per-circuit ``cum_i``, so
+        the *recognized* check at hop ``i`` reduces to comparing the top
+        two payload bytes against ``cum_i``'s — the expensive 509-byte XOR
+        is only materialized for the (at most one, modulo 2^-16 false
+        positives) hop whose prefix matches.  Returns ``(prefixes, cums)``
+        or ``None`` when any hop uses stateful keystreams.
+        """
+        cached = self._fast_bwd
+        n = len(self.hops)
+        if cached is not None and cached[0] == n:
+            return cached[1]
+        prefixes: list[int] = []
+        cums: list[int] = []
+        cum = 0
+        for hop in self.hops:
+            layer = hop._layer
+            if not isinstance(layer, _FastLayer):
+                self._fast_bwd = (n, None)
+                return None
+            cum ^= layer._bwd_int
+            cums.append(cum)
+            prefixes.append(cum >> ((RELAY_PAYLOAD_SIZE - 2) * 8))
+        state = (prefixes, cums)
+        self._fast_bwd = (n, state)
+        return state
+
     def _process_relay(self, payload: bytes) -> None:
-        for index, hop in enumerate(self.hops):
-            payload = hop.crypt_backward(payload)
-            parsed = hop.open_payload(payload, BACKWARD)
-            if parsed is not None:
-                self._dispatch(parsed, from_hop=index)
-                return
+        fast = self._fast_backward_state() if self.hops else None
+        if fast is not None and len(payload) == RELAY_PAYLOAD_SIZE:
+            prefixes, cums = fast
+            pint = int.from_bytes(payload, "big")
+            top = pint >> ((RELAY_PAYLOAD_SIZE - 2) * 8)
+            for index, prefix in enumerate(prefixes):
+                if top == prefix:
+                    candidate = (pint ^ cums[index]).to_bytes(
+                        RELAY_PAYLOAD_SIZE, "big")
+                    parsed = self.hops[index].open_payload(candidate, BACKWARD)
+                    if parsed is not None:
+                        self._dispatch(parsed, from_hop=index)
+                        return
+            if self.hs_crypto is None:
+                return  # unrecognized at every layer: drop
+            payload = (pint ^ cums[-1]).to_bytes(RELAY_PAYLOAD_SIZE, "big")
+        else:
+            for index, hop in enumerate(self.hops):
+                payload = hop.crypt_backward(payload)
+                parsed = hop.open_payload(payload, BACKWARD)
+                if parsed is not None:
+                    self._dispatch(parsed, from_hop=index)
+                    return
         if self.hs_crypto is not None:
             if self.hs_role == HS_CLIENT:
                 payload = self.hs_crypto.crypt_backward(payload)

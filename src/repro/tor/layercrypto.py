@@ -13,6 +13,12 @@ Two modes share one interface:
   identical (payloads still mutate per layer, recognition/digests still
   enforced) but ~20x faster; large-scale benchmarks use it.  This is a
   simulation-performance knob only, never a security claim.
+
+Both modes additionally expose ``crypt_*_many`` batch entry points: a
+relay draining a full stream window crypts all those cells with one
+keystream pull and one big XOR (real mode) instead of per-cell calls.
+The ciphertext is identical either way — batching only changes how many
+Python/hashlib round trips the hot path pays.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ import hashlib
 
 from repro.crypto.kdf import hkdf
 from repro.crypto.stream import StreamCipher
+from repro.perf.counters import counters as _perf
 from repro.tor.cell import RELAY_PAYLOAD_SIZE, RelayCellPayload
 from repro.tor.ntor import CircuitKeys
 from repro.util.bytesutil import xor_bytes
@@ -45,21 +52,49 @@ class _RealLayer:
         """Apply the backward-direction layer."""
         return self._bwd.process(payload)
 
+    def forward_many(self, payloads: list[bytes]) -> list[bytes]:
+        """Apply the forward layer to consecutive payloads in one batch."""
+        return self._fwd.process_many(payloads)
+
+    def backward_many(self, payloads: list[bytes]) -> list[bytes]:
+        """Apply the backward layer to consecutive payloads in one batch."""
+        return self._bwd.process_many(payloads)
+
 
 class _FastLayer:
-    """Cached-pad XOR: one pad per direction, reused every cell."""
+    """Cached-pad XOR: one pad per direction, reused every cell.
+
+    The pads are cached both as bytes and as big ints, so the per-cell
+    work in the common full-payload case is a single int XOR.
+    """
 
     def __init__(self, keys: CircuitKeys) -> None:
         self._fwd_pad = hkdf(keys.kf, info=b"fast-pad-f", length=RELAY_PAYLOAD_SIZE)
         self._bwd_pad = hkdf(keys.kb, info=b"fast-pad-b", length=RELAY_PAYLOAD_SIZE)
+        self._fwd_int = int.from_bytes(self._fwd_pad, "big")
+        self._bwd_int = int.from_bytes(self._bwd_pad, "big")
 
     def forward(self, payload: bytes) -> bytes:
         """Apply the forward-direction layer."""
+        if len(payload) == RELAY_PAYLOAD_SIZE:
+            return (int.from_bytes(payload, "big") ^ self._fwd_int).to_bytes(
+                RELAY_PAYLOAD_SIZE, "big")
         return xor_bytes(payload, self._fwd_pad)
 
     def backward(self, payload: bytes) -> bytes:
         """Apply the backward-direction layer."""
+        if len(payload) == RELAY_PAYLOAD_SIZE:
+            return (int.from_bytes(payload, "big") ^ self._bwd_int).to_bytes(
+                RELAY_PAYLOAD_SIZE, "big")
         return xor_bytes(payload, self._bwd_pad)
+
+    def forward_many(self, payloads: list[bytes]) -> list[bytes]:
+        """Apply the forward layer to each payload (pad reuse: no batching gain)."""
+        return [self.forward(p) for p in payloads]
+
+    def backward_many(self, payloads: list[bytes]) -> list[bytes]:
+        """Apply the backward layer to each payload."""
+        return [self.backward(p) for p in payloads]
 
 
 class HopCrypto:
@@ -82,11 +117,27 @@ class HopCrypto:
 
     def crypt_forward(self, payload: bytes) -> bytes:
         """Apply this hop's forward layer (encrypt at client, strip at relay)."""
+        _perf.cells_crypted += 1
         return self._layer.forward(payload)
 
     def crypt_backward(self, payload: bytes) -> bytes:
         """Apply this hop's backward layer."""
+        _perf.cells_crypted += 1
         return self._layer.backward(payload)
+
+    def crypt_forward_many(self, payloads: list[bytes]) -> list[bytes]:
+        """Apply the forward layer to consecutive payloads in one batch.
+
+        Equivalent to mapping :meth:`crypt_forward`; the cipher stream is
+        consumed in list order.
+        """
+        _perf.cells_crypted += len(payloads)
+        return self._layer.forward_many(payloads)
+
+    def crypt_backward_many(self, payloads: list[bytes]) -> list[bytes]:
+        """Apply the backward layer to consecutive payloads in one batch."""
+        _perf.cells_crypted += len(payloads)
+        return self._layer.backward_many(payloads)
 
     # -- digests ---------------------------------------------------------
 
@@ -104,7 +155,9 @@ class HopCrypto:
         self._send_seq[direction] = seq + 1
         zero = cell.pack()
         digest = self._digest(direction, seq, zero)
-        return cell.pack(digest=digest)
+        # Digest occupies bytes 4..8 of the packed payload; splice it in
+        # instead of re-packing the whole cell.
+        return zero[:4] + digest + zero[8:]
 
     def open_payload(self, payload: bytes, direction: str) -> RelayCellPayload | None:
         """Recognition check: parse + verify digest, consuming one recv seq.
@@ -120,9 +173,8 @@ class HopCrypto:
             parsed = RelayCellPayload.unpack(payload)
         except ProtocolError:
             return None
-        zeroed = RelayCellPayload(
-            command=parsed.command, stream_id=parsed.stream_id, data=parsed.data
-        ).pack()
+        # Zero the digest field (bytes 4..8) for the digest computation.
+        zeroed = payload[:4] + b"\x00\x00\x00\x00" + payload[8:]
         seq = self._recv_seq[FORWARD if direction == FORWARD else BACKWARD]
         expected = self._digest(direction, seq, zeroed)
         if expected != parsed.digest:

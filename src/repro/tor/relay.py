@@ -11,6 +11,7 @@ time by SENDMEs from the consuming end.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from typing import Optional
 
 from repro.netsim.connection import Connection, ConnectionClosed, LoopbackConnection
@@ -67,7 +68,7 @@ class ExitStream:
         self.conn = conn
         self.package_window = STREAM_PACKAGE_WINDOW
         self.delivered_count = 0
-        self.pending: list[bytes] = []
+        self.pending: deque[bytes] = deque()
         self.open = True
         endpoint = conn.endpoint_of(relay.node)
         endpoint.on_message = self._on_external_message
@@ -85,14 +86,20 @@ class ExitStream:
         self.pump()
 
     def pump(self) -> None:
-        """Send queued chunks backward while both windows allow."""
+        """Send queued chunks backward while both windows allow.
+
+        Everything both windows permit is sealed and crypted as one batch
+        (one keystream pull for the whole burst) — the cells, their order,
+        and their send times are identical to pumping one at a time.
+        """
         while (self.pending and self.open
                and self.package_window > 0 and self.entry.package_window > 0):
-            chunk = self.pending.pop(0)
-            self.package_window -= 1
-            self.entry.package_window -= 1
-            self.relay._reply(self.entry, RelayCellPayload(
-                command=RelayCommand.DATA, stream_id=self.stream_id, data=chunk))
+            n = min(len(self.pending), self.package_window,
+                    self.entry.package_window)
+            chunks = [self.pending.popleft() for _ in range(n)]
+            self.package_window -= n
+            self.entry.package_window -= n
+            self.relay._reply_many(self.entry, self.stream_id, chunks)
 
     def _on_external_close(self, _conn: Connection) -> None:
         if not self.open:
@@ -286,8 +293,11 @@ class Relay:
             self._handle_recognized(entry, parsed)
             return
         if entry.conn_next is not None:
-            self._send_cell(entry.conn_next,
-                            Cell(entry.circ_id_next, CellCommand.RELAY, payload))
+            # Reuse the delivered cell object: nothing upstream retains it
+            # once it reaches us, and pass-through is the per-cell hot path.
+            cell.circ_id = entry.circ_id_next
+            cell.payload = payload
+            self._send_cell(entry.conn_next, cell)
             return
         if entry.joined is not None:
             peer = entry.joined
@@ -299,9 +309,9 @@ class Relay:
         raise ProtocolError("unrecognized relay cell at end of circuit")
 
     def _relay_backward(self, entry: CircuitEntry, cell: Cell) -> None:
-        payload = entry.crypto.crypt_backward(cell.payload)
-        self._send_cell(entry.conn_prev,
-                        Cell(entry.circ_id_prev, CellCommand.RELAY, payload))
+        cell.circ_id = entry.circ_id_prev
+        cell.payload = entry.crypto.crypt_backward(cell.payload)
+        self._send_cell(entry.conn_prev, cell)
 
     def _handle_recognized(self, entry: CircuitEntry,
                            parsed: RelayCellPayload) -> None:
@@ -500,6 +510,30 @@ class Relay:
         payload = entry.crypto.crypt_backward(payload)
         self._send_cell(entry.conn_prev,
                         Cell(entry.circ_id_prev, CellCommand.RELAY, payload))
+
+    def _reply_many(self, entry: CircuitEntry, stream_id: int,
+                    chunks: list[bytes]) -> None:
+        """Send a burst of DATA cells backward as one crypto batch.
+
+        Sealing happens per cell in order (the digest chain demands it);
+        the layer cipher runs once over the concatenated burst.  Wire
+        bytes and cell send order match per-cell :meth:`_reply` exactly.
+        """
+        if entry.destroyed:
+            return
+        crypto = entry.crypto
+        sealed = [
+            crypto.seal_payload(
+                RelayCellPayload(command=RelayCommand.DATA,
+                                 stream_id=stream_id, data=chunk),
+                BACKWARD)
+            for chunk in chunks
+        ]
+        conn_prev = entry.conn_prev
+        circ_id_prev = entry.circ_id_prev
+        for payload in crypto.crypt_backward_many(sealed):
+            self._send_cell(conn_prev,
+                            Cell(circ_id_prev, CellCommand.RELAY, payload))
 
     def _send_cell(self, conn: Connection, cell: Cell) -> None:
         try:

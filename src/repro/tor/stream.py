@@ -59,9 +59,10 @@ class TorStream:
         if data:
             self.circuit.send_stream_data(self.stream_id, bytes(data))
 
-    def recv(self, thread: SimThread, timeout: Optional[float] = None) -> bytes:
-        """Block until bytes arrive; ``b''`` at end of stream."""
-        return self._recv.pop(thread, timeout)
+    def recv(self, thread: SimThread, timeout: Optional[float] = None,
+             min_bytes: int = 1) -> bytes:
+        """Block until ``min_bytes`` bytes arrive; ``b''`` at end of stream."""
+        return self._recv.pop(thread, timeout, min_bytes)
 
     def close(self) -> None:
         """Half-close from our side (sends END)."""
