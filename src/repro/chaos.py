@@ -1,0 +1,302 @@
+"""Chaos soak: seeded fault injection against a full Bento deployment.
+
+This is the robustness acceptance scenario: a Tor network with Bento
+boxes runs a Shard deployment (k-of-N erasure-coded storage) and a
+LoadBalancer service while a :class:`~repro.netsim.faults.FaultPlane`
+crashes boxes, severs links, and spikes latencies on a seeded schedule.
+Every layer must recover:
+
+* visitors retry their downloads (:meth:`BentoClient.retrying`) and all
+  of them must eventually get bit-identical content;
+* the LoadBalancer must notice a replica whose box crashed and respawn
+  it elsewhere (``replicas_respawned``);
+* the Shard owner must reconstruct the original file from the surviving
+  placements after two placement boxes die permanently;
+* the whole run must be deterministic: the same seed yields the same
+  fault log, the same counters, and the same result dict, run after run.
+
+``run_chaos_soak`` returns a plain-data summary dict that the test suite
+compares across runs and the ``chaos-soak`` CLI scenario prints.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.core import messages
+from repro.core.client import RETRYABLE_ERRORS, BentoClient
+from repro.core.server import BentoServer
+from repro.enclave.attestation import IntelAttestationService
+from repro.functions.loadbalancer import LoadBalancerFunction
+from repro.functions.shard import ShardFunction
+from repro.netsim.faults import FaultPlane
+from repro.netsim.simulator import SimThread, SimTimeoutError
+from repro.perf.counters import counters as _perf
+from repro.tor.testnet import TorTestNetwork
+
+#: How long the LoadBalancer serves; faults all land well before this.
+LB_DURATION_S = 420.0
+#: Hard wall for the whole soak (simulated seconds).
+SOAK_DEADLINE_S = 4000.0
+
+
+def run_chaos_soak(seed: int = 2021, n_relays: int = 14,
+                   n_visitors: int = 6, verbose: bool = False) -> dict:
+    """Run the full chaos scenario; returns a deterministic summary dict.
+
+    The dict contains only plain data (ints, strings, sorted structures)
+    so two runs with the same ``seed`` can be compared with ``==``.
+    """
+    _perf.reset()
+    net = TorTestNetwork(n_relays=n_relays, seed=seed, bento_fraction=0.5,
+                         fast_crypto=True)
+    ias = IntelAttestationService(net.sim.rng.fork("ias"))
+    net.ias = ias
+    net.servers = [BentoServer(r, net.authority, ias=ias, orphan_grace_s=60.0)
+                   for r in net.bento_boxes()]
+    plane = FaultPlane(net.network)
+    fp_to_node = {r.fingerprint: r.node.name for r in net.relays}
+    content = bytes(net.sim.rng.fork("lb-content").randbytes(1_000_000))
+    payload = bytes(net.sim.rng.fork("shard-file").randbytes(60_000))
+
+    shared: dict = {"attempted": 0, "recovered": 0, "visitors_done": 0,
+                    "announced": [], "crashed": set()}
+
+    def say(text: str) -> None:
+        if verbose:
+            print(f"[t={net.sim.now:8.1f}] {text}")
+
+    # -- the Shard owner: scatter early, gather after the storm ------------
+
+    def shard_owner(thread: SimThread) -> None:
+        client = BentoClient(net.create_client("shard-owner"), ias=ias)
+        session = client.connect(thread, client.pick_box())
+        session.request_image(thread, "python")
+        session.load_function(thread, ShardFunction.SOURCE,
+                              ShardFunction.manifest())
+        metadata = ShardFunction.scatter(thread, session, payload, n=5, k=3,
+                                         name="soak")
+        session.close()
+        shared["metadata"] = metadata
+        say("scatter complete: " + ", ".join(
+            p["box_nickname"] for p in metadata["placements"]))
+        # Wait out the storm: the LB finishing is the last scheduled act.
+        while "lb_stats" not in shared or \
+                shared["visitors_done"] < n_visitors:
+            thread.sleep(5.0)
+        gatherer = BentoClient(net.create_client("gatherer"), ias=ias)
+        restored = ShardFunction.gather(thread, gatherer, metadata,
+                                        timeout=90.0)
+        shared["shard_ok"] = restored == payload
+        say(f"gather complete, bit-identical={shared['shard_ok']}")
+
+    # -- the LoadBalancer operator -----------------------------------------
+
+    def lb_operator(thread: SimThread) -> None:
+        while "metadata" not in shared:
+            thread.sleep(1.0)
+        placed = {p["box_fp"] for p in shared["metadata"]["placements"]}
+        client = BentoClient(net.create_client("lb-operator"), ias=ias)
+        candidates = [b for b in client.discover_boxes()
+                      if b.identity_fp not in placed]
+        box = client.rng.choice(candidates) if candidates else \
+            client.pick_box()
+        shared["lb_node"] = fp_to_node[box.identity_fp]
+        session = client.connect(thread, box)
+        session.request_image(thread, "python")
+        session.load_function(thread, LoadBalancerFunction.SOURCE,
+                              LoadBalancerFunction.manifest(image="python"))
+        onion = LoadBalancerFunction.start(
+            thread, session, content, high_water=1, low_water=1,
+            max_replicas=2, duration_s=LB_DURATION_S, poll_interval=2.0,
+            replica_image="python", announce=True)
+        shared["onion"] = onion
+        say(f"loadbalancer serving {onion} from {shared['lb_node']}")
+        stats = None
+        while stats is None:
+            for index, queued in enumerate(session._pending):
+                if queued["type"] == messages.DONE:
+                    stats = session._pending.pop(index)["result"]
+                    break
+            if stats is not None:
+                break
+            try:
+                out = session.next_output(thread, timeout=20.0)
+            except SimTimeoutError:
+                continue
+            except RETRYABLE_ERRORS:
+                # Transport died mid-soak: reconnect and reattach.
+                for attempt in range(5):
+                    thread.sleep(2.0 * (attempt + 1))
+                    try:
+                        session.reconnect(thread)
+                        break
+                    except RETRYABLE_ERRORS:
+                        continue
+                else:
+                    raise
+                say("operator session reattached")
+                continue
+            try:
+                note = json.loads(out.decode("utf-8"))
+            except ValueError:
+                continue
+            shared["announced"].append(note)
+            say(f"announcement: {note}")
+        # The events list is authoritative (announcements can be lost in
+        # a reconnect window): count respawns from it.
+        respawns = sum(1 for e in stats["events"] if e[1] == "respawn")
+        _perf.replicas_respawned += respawns
+        shared["lb_stats"] = stats
+        session.close()
+
+    # -- visitors: the client requests that must all recover ---------------
+
+    def visitor(thread: SimThread, index: int) -> None:
+        while "onion" not in shared:
+            thread.sleep(1.0)
+        shared["attempted"] += 1
+        client = BentoClient(net.create_client(f"chaos-visitor{index}"),
+                             ias=ias)
+
+        def download() -> bool:
+            body, _elapsed = LoadBalancerFunction.download(
+                thread, client.tor, shared["onion"], timeout=60.0)
+            if body != content:
+                raise ConnectionError("content mismatch")
+            return True
+
+        try:
+            client.retrying(thread, download, attempts=6, backoff_s=2.0)
+            shared["recovered"] += 1
+            say(f"visitor{index} recovered its download")
+        except RETRYABLE_ERRORS as exc:
+            say(f"visitor{index} gave up: {exc}")
+        finally:
+            shared["visitors_done"] += 1
+
+    # -- the director: where the faults come from --------------------------
+
+    def live_replica_nodes() -> list[str]:
+        nodes = []
+        for server in net.servers:
+            if not server.node.alive:
+                continue
+            for instance in server._by_invocation.values():
+                if (instance.manifest is not None
+                        and instance.manifest.name == "lb-replica"
+                        and instance.runtime is not None
+                        and instance.runtime.running):
+                    nodes.append(server.node.name)
+        return nodes
+
+    def director(thread: SimThread) -> None:
+        while "metadata" not in shared or "onion" not in shared:
+            thread.sleep(1.0)
+        placement_nodes = [fp_to_node[p["box_fp"]]
+                           for p in shared["metadata"]["placements"]]
+        # Background noise: one plain-relay crash (it restarts), plus a
+        # seeded batch of link cuts and latency spikes.
+        plain = [r.node.name for r in net.relays if r.bento_port is None]
+        noisy = plane.rng.choice(plain)
+        plane.crash_node(noisy, down_for_s=60.0)
+        say(f"crashed middle relay {noisy} (restarts in 60s)")
+        plane.schedule_random(
+            node_names=[r.node.name for r in net.relays],
+            start_s=net.sim.now + 10.0, end_s=net.sim.now + 150.0,
+            n_link_cuts=3, n_latency_spikes=4, mean_downtime_s=30.0,
+            spike_extra_s=0.2)
+        # Wait for the LB to scale up, then kill a replica's box for good.
+        deadline = net.sim.now + 200.0
+        while not live_replica_nodes() and net.sim.now < deadline:
+            thread.sleep(2.0)
+        if live_replica_nodes():
+            victim = live_replica_nodes()[0]
+            plane.crash_node(victim)
+            shared["crashed"].add(victim)
+            say(f"crashed replica box {victim} (permanent)")
+            # Wait for the respawn to land somewhere else.
+            deadline = net.sim.now + 120.0
+            while net.sim.now < deadline and not [
+                    n for n in live_replica_nodes()
+                    if n not in shared["crashed"]]:
+                thread.sleep(2.0)
+            say("replicas now on " + ",".join(live_replica_nodes()))
+        # Finally, kill shard placement boxes — at most n-k of them, and
+        # never the LB box or a box currently hosting a replica.
+        for target in placement_nodes:
+            if len(shared["crashed"] & set(placement_nodes)) >= 2:
+                break
+            if target in shared["crashed"] or target == shared["lb_node"] \
+                    or target in live_replica_nodes():
+                continue
+            plane.crash_node(target)
+            shared["crashed"].add(target)
+            say(f"crashed shard placement box {target} (permanent)")
+
+    shard_thread = net.sim.spawn(shard_owner, name="shard-owner")
+    net.sim.spawn(lb_operator, name="lb-operator")
+    for index in range(n_visitors):
+        # Two waves: a tight burst (pushes the LB past high_water so it
+        # scales up) and a trailing wave that keeps load on the service
+        # while the director is crashing boxes.
+        if index < (n_visitors + 1) // 2:
+            delay = 20.0 + 3.0 * index
+        else:
+            delay = 110.0 + 12.0 * index
+        net.sim.spawn(lambda t, i=index: visitor(t, i), name=f"visitor{index}",
+                      delay=delay)
+    net.sim.spawn(director, name="director", delay=30.0)
+
+    net.sim.run_until_done(shard_thread, until=SOAK_DEADLINE_S)
+    net.sim.check_failures()
+
+    stats = shared["lb_stats"]
+    result = {
+        "seed": seed,
+        "n_relays": n_relays,
+        "requests_attempted": shared["attempted"],
+        "requests_recovered": shared["recovered"],
+        "shard_ok": bool(shared.get("shard_ok")),
+        "faults_injected": _perf.faults_injected,
+        "fault_log": dict(sorted(Counter(
+            kind for _t, kind, _detail in plane.log).items())),
+        "lb_events": dict(sorted(Counter(
+            e[1] for e in stats["events"]).items())),
+        "replicas_lost": stats["replicas_lost"],
+        "announcements": len(shared["announced"]),
+        "counters": {
+            "node_crashes": _perf.node_crashes,
+            "node_restarts": _perf.node_restarts,
+            "links_cut": _perf.links_cut,
+            "links_healed": _perf.links_healed,
+            "latency_spikes": _perf.latency_spikes,
+            "conns_torn_down": _perf.conns_torn_down,
+            "retries": _perf.retries,
+            "circuits_rebuilt": _perf.circuits_rebuilt,
+            "session_reconnects": _perf.session_reconnects,
+            "replicas_respawned": _perf.replicas_respawned,
+            "orphans_reaped": _perf.orphans_reaped,
+        },
+        "sim_time": round(net.sim.now, 3),
+    }
+    return result
+
+
+def check_soak(result: dict) -> list[str]:
+    """The acceptance predicates; returns the list of violations (empty
+    when the soak passed)."""
+    problems = []
+    if result["faults_injected"] < 10:
+        problems.append(
+            f"only {result['faults_injected']} faults injected (<10)")
+    if result["requests_recovered"] != result["requests_attempted"]:
+        problems.append(
+            f"{result['requests_recovered']}/{result['requests_attempted']}"
+            " client requests recovered")
+    if not result["shard_ok"]:
+        problems.append("shard gather was not bit-identical")
+    if result["counters"]["replicas_respawned"] < 1:
+        problems.append("no LoadBalancer replica was respawned")
+    return problems

@@ -81,10 +81,42 @@ def _scenario_perf_report(seed: int) -> None:
         print(profile_to_text())
 
 
+def _scenario_chaos_soak(seed: int) -> None:
+    """Run the deterministic fault-injection soak and check its invariants.
+
+    Exits nonzero if any acceptance predicate fails (insufficient faults,
+    an unrecovered client request, a corrupted Shard reconstruction, or a
+    LoadBalancer replica that was never respawned).
+    """
+    from repro.chaos import check_soak, run_chaos_soak
+
+    result = run_chaos_soak(seed=seed, verbose=True)
+    print(f"chaos soak (seed={result['seed']}, {result['n_relays']} relays) "
+          f"finished at simulated t={result['sim_time']:.1f}s")
+    print(f"  faults injected:   {result['faults_injected']} "
+          f"{dict(result['fault_log'])}")
+    print(f"  client requests:   {result['requests_recovered']}/"
+          f"{result['requests_attempted']} recovered")
+    print(f"  shard retrieval:   "
+          f"{'bit-identical' if result['shard_ok'] else 'CORRUPTED'}")
+    print(f"  replicas lost:     {result['replicas_lost']}")
+    print(f"  lb events:         {dict(result['lb_events'])}")
+    print("  counters:")
+    for name, value in sorted(result["counters"].items()):
+        print(f"    {name:22s} {value}")
+    problems = check_soak(result)
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        raise SystemExit(1)
+    print("all soak invariants hold")
+
+
 SCENARIOS = {
     "quickstart": _scenario_quickstart,
     "fingerprint": _scenario_fingerprint,
     "perf-report": _scenario_perf_report,
+    "chaos-soak": _scenario_chaos_soak,
 }
 
 

@@ -238,8 +238,21 @@ class StemApi:
         sim = api._instance.server.sim
 
         def _worker(thread):
+            from repro.netsim.connection import ConnectionClosed
+            from repro.netsim.network import NetworkError
+            from repro.netsim.simulator import SimTimeoutError
+            from repro.tor.circuit import CircuitDestroyed
+            from repro.tor.client import TorError
+
             api._bind(thread, None)
-            firewall.hs_complete_rendezvous(thread, service, request)
+            try:
+                firewall.hs_complete_rendezvous(thread, service, request)
+            except (TorError, NetworkError, SimTimeoutError,
+                    CircuitDestroyed, ConnectionClosed) as exc:
+                # Fire-and-forget: the client retries through a fresh
+                # rendezvous; a dead relay here must not kill the host.
+                api._instance.logs.append(
+                    f"rendezvous abandoned: {exc}")
 
         sim.spawn(_worker, name=f"rend:{api._instance.instance_id}")
         return None

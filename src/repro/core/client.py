@@ -19,11 +19,23 @@ from repro.enclave.attestation import AttestationReport, Quote
 from repro.enclave.conclave import Conclave, SecureChannel
 from repro.enclave.attestation import IntelAttestationService
 from repro.netsim.bytestream import FramedStream
-from repro.netsim.simulator import SimThread
-from repro.tor.circuit import Circuit
-from repro.tor.client import TorClient
+from repro.netsim.connection import ConnectionClosed
+from repro.netsim.network import NetworkError
+from repro.netsim.simulator import SimThread, SimTimeoutError
+from repro.perf.counters import counters as _perf
+from repro.tor.circuit import Circuit, CircuitDestroyed
+from repro.tor.client import TorClient, TorError
 from repro.tor.descriptor import RelayDescriptor
+from repro.util.errors import ProtocolError
 from repro.util.rng import DeterministicRandom
+
+#: Failures worth retrying: transport death, timeouts, circuit teardown,
+#: refused dials, and server-reported errors.  ``ConnectionError`` covers
+#: application-level helpers (e.g. LoadBalancer downloads) that surface
+#: mid-transfer hangups as the builtin.
+RETRYABLE_ERRORS = (BentoError, ConnectionClosed, SimTimeoutError,
+                    CircuitDestroyed, TorError, NetworkError, ProtocolError,
+                    ConnectionError)
 
 
 class BentoClient:
@@ -96,6 +108,38 @@ class BentoClient:
         return BentoSession(self, FramedStream(stream), circuit,
                             close_circuit=True, box=None)
 
+    # -- retry ------------------------------------------------------------------
+
+    def retrying(self, thread: SimThread, op, *, attempts: int = 5,
+                 backoff_s: float = 1.0, max_backoff_s: float = 30.0,
+                 session: Optional["BentoSession"] = None):
+        """Run ``op()`` with seeded exponential-backoff retry.
+
+        Retries on :data:`RETRYABLE_ERRORS` with a backoff of
+        ``backoff_s * 2**attempt`` jittered by this client's deterministic
+        RNG.  If ``session`` is given, each retry first reconnects and
+        reattaches it (see :meth:`BentoSession.reconnect`); a reconnect
+        failure consumes the attempt and backs off again.
+        """
+        last: Optional[BaseException] = None
+        for attempt in range(attempts):
+            if attempt > 0:
+                _perf.retries += 1
+                delay = min(backoff_s * (2 ** (attempt - 1)), max_backoff_s)
+                thread.sleep(delay * (0.5 + self.rng.random()))
+                if session is not None:
+                    try:
+                        session.reconnect(thread)
+                    except RETRYABLE_ERRORS as exc:
+                        last = exc
+                        continue
+            try:
+                return op()
+            except RETRYABLE_ERRORS as exc:
+                last = exc
+        raise BentoError(
+            f"operation failed after {attempts} attempts: {last}") from last
+
 
 class BentoSession:
     """One client's connection to one Bento box."""
@@ -121,9 +165,18 @@ class BentoSession:
     def _request(self, thread: SimThread, frame: bytes, expect: str,
                  timeout: float) -> dict:
         self.framed.send_frame(frame)
-        return self._await(thread, expect, timeout)
+        return self.await_message(thread, expect, timeout)
 
-    def _await(self, thread: SimThread, expect: str, timeout: float) -> dict:
+    def await_message(self, thread: SimThread, expect: str,
+                      timeout: float = 600.0) -> dict:
+        """Block until the server sends a message of type ``expect``.
+
+        Frames of other types arriving first are queued (out-of-order
+        delivery is normal: a long-running function may emit OUTPUT frames
+        while the client waits for DONE) and served to later calls.
+        Raises :class:`BentoError` on a server ERROR frame or when the
+        server closes the connection.
+        """
         for index, queued in enumerate(self._pending):
             if queued["type"] == expect:
                 return self._pending.pop(index)
@@ -139,6 +192,9 @@ class BentoSession:
                     f"server error: {message.get('reason')} "
                     f"({message.get('detail', '')})")
             self._pending.append(message)
+
+    # Backward-compatible private alias for await_message.
+    _await = await_message
 
     # -- protocol steps -----------------------------------------------------------
 
@@ -234,7 +290,7 @@ class BentoSession:
         """
         self.framed.send_frame(messages.encode_message(
             messages.INVOKE, token=self.invocation_token, args=list(args)))
-        done = self._await(thread, messages.DONE, timeout)
+        done = self.await_message(thread, messages.DONE, timeout)
         return done["result"]
 
     def invoke_nowait(self, args: Optional[list] = None) -> None:
@@ -250,8 +306,51 @@ class BentoSession:
 
     def next_output(self, thread: SimThread, timeout: float = 600.0) -> bytes:
         """The next api.send() payload from the function."""
-        reply = self._await(thread, messages.OUTPUT, timeout)
+        reply = self.await_message(thread, messages.OUTPUT, timeout)
         return reply["payload"]
+
+    def reconnect(self, thread: SimThread, timeout: float = 240.0,
+                  circuit_attempts: int = 3) -> None:
+        """Re-establish the transport and reattach via the invocation token.
+
+        The function instance on the box survives a dropped client
+        connection (§5.3 fate-shares with the *box*), so after a circuit
+        or link failure the session can come back: build a fresh circuit
+        to the same box — avoiding relays implicated in recent failures —
+        open a new stream, and ATTACH with the held invocation token.
+        Direct (no-Tor) sessions simply redial the box.
+        """
+        if self.box is None:
+            raise BentoError("cannot reconnect an onion session")
+        if self.invocation_token is None:
+            raise BentoError("no invocation token to reattach with")
+        try:
+            self.framed.close()
+        except Exception:
+            pass
+        if (self._close_circuit and self.circuit is not None
+                and not self.circuit.destroyed):
+            self.circuit.close()
+        self._pending.clear()
+        if self.circuit is None:
+            # Direct session (connect_direct): redial the box.
+            from repro.netsim.bytestream import DirectByteStream
+
+            conn = self.client.tor.network.connect_blocking(
+                thread, self.client.tor.node, self.box.address,
+                self.box.bento_port, timeout=timeout)
+            self.framed = FramedStream(DirectByteStream(conn, self.client.tor.node))
+        else:
+            circuit = self.client.tor.build_circuit_with_retry(
+                thread, attempts=circuit_attempts, final_hop=self.box,
+                timeout=timeout)
+            stream = circuit.open_stream(thread, self.box.address,
+                                         self.box.bento_port, timeout=timeout)
+            self.circuit = circuit
+            self._close_circuit = True
+            self.framed = FramedStream(stream)
+        self.attach(thread, self.invocation_token, timeout=timeout)
+        _perf.session_reconnects += 1
 
     def shutdown(self, thread: SimThread, timeout: float = 120.0) -> None:
         """Spend the shutdown token; the container is reclaimed."""

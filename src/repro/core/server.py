@@ -37,6 +37,7 @@ from repro.enclave.sgx import EnclaveHost
 from repro.netsim.bytestream import DirectByteStream, FramedStream
 from repro.netsim.connection import Connection
 from repro.netsim.simulator import SimThread
+from repro.perf.counters import counters as _perf
 from repro.sandbox.cgroups import CGroup, ResourceExceeded
 from repro.sandbox.container import Container
 from repro.sandbox.iptables import IptablesRuleset
@@ -55,13 +56,14 @@ from repro.util.serialization import canonical_encode
 class FunctionInstance:
     """One loaded function: container + (optional) conclave + runtime."""
 
-    _ids = itertools.count(1)
-
     def __init__(self, server: "BentoServer", image: ContainerImage,
                  container: Container, conclave: Optional[Conclave],
                  tokens: TokenPair) -> None:
         self.server = server
-        self.instance_id = f"fn-{next(self._ids)}"
+        # Numbered per server, not via a class-level counter: the id seeds
+        # this instance's RNG fork, and a process-global counter would
+        # make a second same-seed run draw different randomness.
+        self.instance_id = f"fn-{next(server._instance_ids)}"
         self.image = image
         self.container = container
         self.conclave = conclave
@@ -73,6 +75,25 @@ class FunctionInstance:
         self.rng = server.rng.fork(self.instance_id)
         self.logs: list[str] = []
         self.terminated = False
+        # Client transports that have referenced this instance, and the
+        # last time one did — the inputs to orphan reaping.
+        self.peers: set[FramedStream] = set()
+        self.last_activity: float = server.sim.now
+
+    def note_peer(self, peer: FramedStream) -> None:
+        """Record a client transport touching this instance."""
+        self.peers.add(peer)
+        self.last_activity = self.server.sim.now
+
+    @property
+    def orphaned(self) -> bool:
+        """True when every client transport that ever touched this
+        instance has died and no invocation is running."""
+        if not self.peers:
+            return False
+        if any(not peer.closed for peer in self.peers):
+            return False
+        return self.runtime is None or not self.runtime.running
 
     # -- lifecycle -------------------------------------------------------
 
@@ -129,13 +150,20 @@ class FunctionInstance:
         except Exception:
             pass  # the client has gone; fate-sharing is explicit in §5.3
 
-    def kill(self, reason: str) -> None:
-        """Terminate (sandbox violation, resource overrun, or shutdown)."""
+    def kill(self, reason: str, graceful: bool = True) -> None:
+        """Terminate (sandbox violation, resource overrun, or shutdown).
+
+        ``graceful=False`` models a host crash: only local state is torn
+        down.  A dead box cannot send DESTROY cells or withdraw directory
+        entries — its circuits die with its connections, and any
+        descriptor it published stays up until it expires or is
+        republished (clients must survive the stale entry).
+        """
         if self.terminated:
             return
         self.terminated = True
         self.api._kill(reason)
-        if self.firewall is not None:
+        if self.firewall is not None and graceful:
             self.firewall.release_all()
         if self.conclave is not None:
             self.conclave.terminate()
@@ -155,7 +183,8 @@ class BentoServer:
                  policy: Optional[MiddleboxNodePolicy] = None,
                  ias: Optional[IntelAttestationService] = None,
                  enclave_host: Optional[EnclaveHost] = None,
-                 port: int = BENTO_PORT) -> None:
+                 port: int = BENTO_PORT,
+                 orphan_grace_s: Optional[float] = None) -> None:
         self.relay = relay
         self.node = relay.node
         self.sim = relay.sim
@@ -181,7 +210,16 @@ class BentoServer:
         self._by_invocation: dict[str, FunctionInstance] = {}
         self._by_shutdown: dict[str, FunctionInstance] = {}
         self._container_ids = itertools.count(1)
+        self._instance_ids = itertools.count(1)
         self.onion_address: Optional[str] = None
+        # Orphan reaping is opt-in: with a grace period set, instances
+        # whose every client transport has died (and which are not mid-
+        # invocation) are killed that many seconds after the last peer
+        # drops.  Default None preserves pure §5.3 box fate-sharing.
+        self.orphan_grace_s = orphan_grace_s
+        # Host death kills every hosted function with it (fate-sharing
+        # with the box); a restart comes back empty.
+        self.node.add_crash_listener(self._on_node_crash)
 
         # Advertise: the relay's descriptor carries the Bento port (§5.5's
         # "disseminated as part of the Tor directory").
@@ -234,6 +272,9 @@ class BentoServer:
             except (BentoError, ResourceExceeded, LoaderError) as exc:
                 framed.send_frame(messages.error_message("request-failed",
                                                          detail=str(exc)))
+        if self.orphan_grace_s is not None:
+            # This client is gone; sweep for orphans once the grace expires.
+            self.sim.schedule(self.orphan_grace_s, self.reap_orphans)
 
     def _dispatch(self, thread: SimThread, framed: FramedStream,
                   message: dict) -> None:
@@ -247,12 +288,15 @@ class BentoServer:
             self._handle_load(framed, message)
         elif msg_type == messages.INVOKE:
             instance = self._instance_for_invocation(message.get("token", ""))
+            instance.note_peer(framed)
             instance.invoke(list(message.get("args", [])), framed)
         elif msg_type == messages.MSG:
             instance = self._instance_for_invocation(message.get("token", ""))
+            instance.note_peer(framed)
             instance.deliver(message.get("payload", b""), framed)
         elif msg_type == messages.ATTACH:
-            self._instance_for_invocation(message.get("token", ""))
+            instance = self._instance_for_invocation(message.get("token", ""))
+            instance.note_peer(framed)
             framed.send_frame(messages.encode_message(messages.LOADED, ok=True))
         elif msg_type == messages.SHUTDOWN:
             self._handle_shutdown(framed, message)
@@ -307,6 +351,7 @@ class BentoServer:
 
         tokens = self._tokens.issue()
         instance = FunctionInstance(self, image, container, conclave, tokens)
+        instance.note_peer(framed)
         self._by_invocation[tokens.invocation] = instance
         self._by_shutdown[tokens.shutdown] = instance
         framed.send_frame(messages.encode_message(
@@ -319,6 +364,7 @@ class BentoServer:
 
     def _handle_load(self, framed: FramedStream, message: dict) -> None:
         instance = self._instance_for_invocation(message.get("token", ""))
+        instance.note_peer(framed)
         manifest = FunctionManifest.from_wire(message["manifest"])
         reason = self.policy.rejection_reason(manifest)
         if reason is not None:
@@ -366,6 +412,33 @@ class BentoServer:
     def _forget(self, instance: FunctionInstance) -> None:
         self._by_invocation.pop(instance.tokens.invocation, None)
         self._by_shutdown.pop(instance.tokens.shutdown, None)
+
+    # -- failure handling -------------------------------------------------------
+
+    def reap_orphans(self, grace_s: Optional[float] = None) -> int:
+        """Kill instances whose every client transport died (§5.3 allows a
+        function to outlive its connection, but a box need not host
+        abandoned ones forever).  ``grace_s`` defaults to the server's
+        ``orphan_grace_s`` (or 0): instances touched more recently than
+        that are spared.  Returns how many were reaped."""
+        if grace_s is None:
+            grace_s = self.orphan_grace_s or 0.0
+        horizon = self.sim.now - grace_s
+        reaped = 0
+        for instance in list(self._by_invocation.values()):
+            if instance.orphaned and instance.last_activity <= horizon:
+                instance.kill("orphaned: all client connections died")
+                reaped += 1
+        _perf.orphans_reaped += reaped
+        return reaped
+
+    def _on_node_crash(self, _node) -> None:
+        """The host died: every hosted function dies with it.
+
+        No graceful cleanup — a crashed box gets no dying gasp on the
+        network."""
+        for instance in list(self._by_invocation.values()):
+            instance.kill("box crashed", graceful=False)
 
     # -- introspection ----------------------------------------------------------------
 

@@ -11,7 +11,6 @@ enclave so callers can apply a paging latency penalty.
 from __future__ import annotations
 
 import hashlib
-import itertools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
@@ -63,15 +62,16 @@ class EnclaveImage:
 class EnclaveHost:
     """One machine's SGX platform: EPC budget plus an attestation key."""
 
-    _ids = itertools.count(1)
-
     def __init__(self, sim, ias: "IntelAttestationService",
                  rng: Optional[DeterministicRandom] = None,
                  tcb_level: int = 2,
                  epc_usable: int = EPC_USABLE_BYTES) -> None:
         self.sim = sim
         self.ias = ias
-        self.platform_id = f"platform-{next(self._ids)}"
+        # Numbered per IAS (i.e. per simulated world), NOT via a module
+        # counter: a process-global counter would give different ids — and
+        # different id *lengths* on the wire — on a second same-seed run.
+        self.platform_id = f"platform-{len(ias._platforms) + 1}"
         self.tcb_level = tcb_level
         self.epc_usable = epc_usable
         self.epc_committed = 0

@@ -108,7 +108,7 @@ class AvoidanceFunction:
             args=[src[0], src[1], dst[0], dst[1], detour_bound, samples]))
         proof = json.loads(session.next_output(thread, timeout=timeout)
                            .decode("utf-8"))
-        session._await(thread, messages.DONE, timeout)
+        session.await_message(thread, messages.DONE, timeout)
         return proof
 
     @staticmethod

@@ -92,10 +92,12 @@ class BrowserFunction:
         ``session`` is a :class:`~repro.core.client.BentoSession` that has
         already loaded :data:`BROWSER_SOURCE`.
         """
+        from repro.core import messages
+
         session.framed.send_frame(
             _invoke_frame(session.invocation_token, [url, padding]))
         blob = session.next_output(thread, timeout=timeout)
-        stats = session._await(thread, "done", timeout)["result"]
+        stats = session.await_message(thread, messages.DONE, timeout)["result"]
         return BrowserFunction.unpack(blob), stats
 
 

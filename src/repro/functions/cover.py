@@ -97,7 +97,8 @@ class CoverFunction:
             session.send_message(junk)
             sent_up += chunk_size
             thread.sleep(interval)
-        result = session._await(thread, messages.DONE, timeout=duration_s + 120.0)
+        result = session.await_message(thread, messages.DONE,
+                                        timeout=duration_s + 120.0)
         stats = dict(result["result"])
         stats["sent_up_bytes"] = sent_up
         return stats

@@ -144,4 +144,4 @@ class DropboxFunction:
         from repro.core import messages
 
         session.send_message(json.dumps({"op": "close"}).encode())
-        return session._await(thread, messages.DONE, timeout)["result"]
+        return session.await_message(thread, messages.DONE, timeout)["result"]

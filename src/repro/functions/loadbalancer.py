@@ -88,7 +88,7 @@ import json
 ''' + _SERVE_SNIPPET + r'''
 
 def loadbalancer(replica_source, replica_manifest, high_water, low_water,
-                 max_replicas, duration_s, poll_interval):
+                 max_replicas, duration_s, poll_interval, announce=False):
     content = api.recv(timeout=300.0)
     state = {"active": 0, "served": 0}
     service = api.stem.create_hidden_service(
@@ -103,7 +103,15 @@ def loadbalancer(replica_source, replica_manifest, high_water, low_water,
     # ticks) — so dispatch never blocks on a poll round.
     local = {"assigned": 0}
     replicas = []
+    dead_boxes = []
+    lost = {"count": 0}
     events = [[api.time(), "start", 1]]
+
+    def tell(payload):
+        # Operational announcements (replica placements / losses) for the
+        # operator's session; off by default to keep the wire quiet.
+        if announce:
+            api.send(json.dumps(payload).encode("utf-8"))
 
     def estimate(instance):
         if instance["kind"] == "local":
@@ -113,45 +121,82 @@ def loadbalancer(replica_source, replica_manifest, high_water, low_water,
         return max(rep["active"], rep["assigned"] - rep["served"])
 
     def poll_loads():
-        for rep in replicas:
+        for rep in list(replicas):
             if not rep["ready"]:
                 continue     # the only pending output would be "ready"
-            api.remote_send(rep["handle"], b'{"op": "load"}')
-            info = json.loads(api.remote_recv(rep["handle"], timeout=60.0)
-                              .decode("utf-8"))
+            try:
+                api.remote_send(rep["handle"], b'{"op": "load"}')
+                info = json.loads(api.remote_recv(rep["handle"], timeout=60.0)
+                                  .decode("utf-8"))
+            except Exception:
+                lose_replica(rep)
+                continue
             rep["active"] = info["active"]
             rep["served"] = info["served"]
 
-    def spawn_replica():
+    def spawn_replica(kind="scale-up"):
         # Deploy and push the key material + content, but do NOT wait for
         # the replica to come up: the content transfer proceeds while we
         # keep dispatching; the first dispatch to this replica waits.
         # Replicas are the operator's own infrastructure: the key and
         # content copy goes direct (the paper's LB copied files between
-        # its own EC2 hosts), not through an anonymity circuit.
-        handle = api.deploy(replica_source, replica_manifest, direct=True)
-        api.remote_invoke_nowait(handle, [key_material, len(content)])
-        api.remote_send(handle, content)
-        replicas.append({"handle": handle, "active": 0, "served": 0,
-                         "assigned": 0, "ready": False})
-        events.append([api.time(), "scale-up", 1 + len(replicas)])
+        # its own EC2 hosts), not through an anonymity circuit.  Boxes
+        # that already ate a replica are excluded; a deploy landing on a
+        # dead box just fails and the next attempt redraws.
+        for _attempt in range(4):
+            try:
+                handle = api.deploy(replica_source, replica_manifest,
+                                    direct=True,
+                                    exclude_fingerprints=dead_boxes)
+                info = api.remote_info(handle)
+                api.remote_invoke_nowait(handle, [key_material, len(content)])
+                api.remote_send(handle, content)
+            except Exception:
+                continue
+            replicas.append({"handle": handle, "active": 0, "served": 0,
+                             "assigned": 0, "ready": False,
+                             "box_fp": info["box_fp"]})
+            events.append([api.time(), kind, 1 + len(replicas)])
+            tell({"replica_box": info["box_fp"], "event": kind})
+            return True
+        events.append([api.time(), "spawn-failed", 1 + len(replicas)])
+        return False
+
+    def lose_replica(rep):
+        # A replica stopped answering: its box died (or the path to it).
+        # Remember the box so redeployment avoids it, then re-replicate —
+        # the paper's LB respawns on death, not just on load.
+        if rep not in replicas:
+            return
+        replicas.remove(rep)
+        if rep.get("box_fp"):
+            dead_boxes.append(rep["box_fp"])
+        lost["count"] += 1
+        events.append([api.time(), "replica-lost", 1 + len(replicas)])
+        tell({"replica_lost": rep.get("box_fp", "")})
+        if len(replicas) < max_replicas:
+            spawn_replica(kind="respawn")
 
     def ensure_ready(rep, timeout=300.0):
         """Wait for a replica's {"ready": true}; with a tiny timeout this
-        is a non-blocking readiness poll."""
+        is a non-blocking readiness poll.  A dead transport (anything but
+        a timeout) loses the replica."""
         if not rep["ready"]:
             try:
                 api.remote_recv(rep["handle"], timeout=timeout)
                 rep["ready"] = True
-            except Exception:
-                pass
+            except Exception as exc:
+                # The sandbox has no type() and no timeout exception
+                # class to catch by name; repr() carries the class name.
+                if "SimTimeoutError" not in repr(exc):
+                    lose_replica(rep)
         return rep["ready"]
 
     def dispatch(request):
         # Only *ready* instances are dispatch candidates: waiting for a
         # replica mid-provisioning would stall every queued client.
         instances = [{"kind": "local"}]
-        for rep in replicas:
+        for rep in list(replicas):
             if ensure_ready(rep, timeout=0.05):
                 instances.append({"kind": "replica", "rep": rep})
         least = min(instances, key=estimate)
@@ -166,14 +211,23 @@ def loadbalancer(replica_source, replica_manifest, high_water, low_water,
         else:
             rep = least["rep"]
             rep["assigned"] += 1
-            ensure_ready(rep)
-            api.remote_send(rep["handle"], json.dumps({"op": "rendezvous", "req": {
-                "cookie": request["cookie"].hex(),
-                "rp_address": request["rp_address"],
-                "rp_port": int(request["rp_port"]),
-                "onionskin": request["onionskin"].hex(),
-            }}).encode("utf-8"))
-            api.remote_recv(rep["handle"], timeout=120.0)
+            try:
+                ensure_ready(rep)
+                api.remote_send(rep["handle"], json.dumps({"op": "rendezvous", "req": {
+                    "cookie": request["cookie"].hex(),
+                    "rp_address": request["rp_address"],
+                    "rp_port": int(request["rp_port"]),
+                    "onionskin": request["onionskin"].hex(),
+                }}).encode("utf-8"))
+                api.remote_recv(rep["handle"], timeout=120.0)
+            except Exception:
+                # The replica died under us: serve this client locally so
+                # the request still completes, then replace the replica.
+                lose_replica(rep)
+                local["assigned"] += 1
+                api.stem.complete_rendezvous(service, request, wait=False)
+                events.append([api.time(), "dispatch", "local"])
+                return
         events.append([api.time(), "dispatch", least["kind"]])
 
     end = api.time() + duration_s
@@ -197,9 +251,12 @@ def loadbalancer(replica_source, replica_manifest, high_water, low_water,
                 and r["assigned"] <= r["served"]]
         if idle and total_active <= low_water:
             rep = idle[-1]
-            api.remote_send(rep["handle"], b'{"op": "stop"}')
-            api.remote_shutdown(rep["handle"])
             replicas.remove(rep)
+            try:
+                api.remote_send(rep["handle"], b'{"op": "stop"}')
+                api.remote_shutdown(rep["handle"])
+            except Exception:
+                pass
             events.append([api.time(), "scale-down", 1 + len(replicas)])
 
     # Drain: the service window is over, but in-flight downloads finish
@@ -217,10 +274,14 @@ def loadbalancer(replica_source, replica_manifest, high_water, low_water,
         api.sleep(poll_interval)
 
     for rep in replicas:
-        api.remote_send(rep["handle"], b'{"op": "stop"}')
-        api.remote_shutdown(rep["handle"])
+        try:
+            api.remote_send(rep["handle"], b'{"op": "stop"}')
+            api.remote_shutdown(rep["handle"])
+        except Exception:
+            pass
     return {"events": events, "served_local": state["served"],
-            "replicas_at_end": len(replicas)}
+            "replicas_at_end": len(replicas),
+            "replicas_lost": lost["count"]}
 '''
 
 
@@ -266,9 +327,14 @@ class LoadBalancerFunction:
               high_water: int = 2, low_water: int = 1, max_replicas: int = 3,
               duration_s: float = 120.0, poll_interval: float = 2.0,
               replica_image: str = "python-op-sgx",
-              timeout: float = 600.0) -> str:
+              timeout: float = 600.0, announce: bool = False) -> str:
         """Launch the balancer on a loaded session; returns the onion
-        address it is serving."""
+        address it is serving.
+
+        With ``announce=True`` the balancer reports replica placements and
+        losses as extra OUTPUT frames (JSON with ``replica_box`` /
+        ``replica_lost`` keys) so an operator can watch re-replication.
+        """
         from repro.core import messages
 
         session.framed.send_frame(messages.encode_message(
@@ -276,7 +342,7 @@ class LoadBalancerFunction:
             args=[cls.REPLICA_SOURCE,
                   cls.replica_manifest(image=replica_image).to_wire(),
                   high_water, low_water, max_replicas, duration_s,
-                  poll_interval]))
+                  poll_interval, announce]))
         session.send_message(content)
         ready = session.next_output(thread, timeout=timeout)
         return json.loads(ready.decode("utf-8"))["onion"]

@@ -92,5 +92,5 @@ class MultipathFunction:
             messages.INVOKE, token=session.invocation_token,
             args=[url, n_paths]))
         body = session.next_output(thread, timeout=timeout)
-        stats = session._await(thread, messages.DONE, timeout)["result"]
+        stats = session.await_message(thread, messages.DONE, timeout)["result"]
         return body, stats

@@ -126,7 +126,7 @@ class ShardFunction:
             args=[n, k, DropboxFunction.SOURCE, dropbox_manifest, name,
                   expiry_s]))
         session.send_message(data)
-        return session._await(thread, messages.DONE, timeout)["result"]
+        return session.await_message(thread, messages.DONE, timeout)["result"]
 
     @staticmethod
     def gather(thread: SimThread, bento_client, metadata: dict,
@@ -134,24 +134,63 @@ class ShardFunction:
                timeout: float = 600.0) -> bytes:
         """Fetch any k shards straight from their Dropboxes and decode.
 
-        ``use_indices`` selects which placements to try (defaults to the
-        first k) — the "flexibility over where she accesses the data"
-        property.
+        ``use_indices`` selects which placements to try first (defaults to
+        placement order) — the "flexibility over where she accesses the
+        data" property.  Unreachable or dead Dropboxes are skipped: the
+        walk continues through the remaining placements until ``k`` shards
+        are in hand, so the file survives up to ``n - k`` box failures.
+        Raises :class:`~repro.core.errors.BentoError` when fewer than ``k``
+        placements are still retrievable.
         """
+        from repro.core.client import RETRYABLE_ERRORS
+        from repro.core.errors import BentoError
+
         k = int(metadata["k"])
         placements = metadata["placements"]
-        if use_indices is None:
-            use_indices = [p["index"] for p in placements[:k]]
         by_index = {p["index"]: p for p in placements}
+        if use_indices is None:
+            candidates = [p["index"] for p in placements]
+        else:
+            # Preferred indices first, then any survivors as fallback.
+            candidates = list(use_indices)
+            candidates += [p["index"] for p in placements
+                           if p["index"] not in set(use_indices)]
         consensus = bento_client.tor.consensus()
         shards: list[Shard] = []
-        for index in use_indices[:k]:
+        failures: list[str] = []
+        for index in candidates:
+            if len(shards) >= k:
+                break
             placement = by_index[index]
-            box = consensus.find(placement["box_fp"])
-            dropbox_session = bento_client.connect(thread, box, timeout=timeout)
-            dropbox_session.attach(thread, placement["invocation"])
-            piece = DropboxFunction.get(thread, dropbox_session,
-                                        placement["name"], timeout=timeout)
-            dropbox_session.close()
+
+            def fetch_piece(placement=placement):
+                box = consensus.find(placement["box_fp"])
+                dropbox_session = bento_client.connect(thread, box,
+                                                       timeout=timeout)
+                try:
+                    dropbox_session.attach(thread, placement["invocation"])
+                    return DropboxFunction.get(thread, dropbox_session,
+                                               placement["name"],
+                                               timeout=timeout)
+                finally:
+                    dropbox_session.close()
+
+            try:
+                # A couple of attempts per placement so one unlucky relay
+                # pick doesn't burn a surviving Dropbox; a genuinely dead
+                # box fails fast (its dials are refused) and is skipped.
+                piece = bento_client.retrying(thread, fetch_piece,
+                                              attempts=3, backoff_s=1.0)
+            except RETRYABLE_ERRORS as exc:
+                failures.append("%s: %s" % (placement["box_nickname"], exc))
+                continue
+            if not piece:
+                # Dropbox answered but no longer holds the piece.
+                failures.append("%s: empty piece" % placement["box_nickname"])
+                continue
             shards.append(Shard(index=index, data=piece))
+        if len(shards) < k:
+            raise BentoError(
+                "gather: only %d of %d required shards retrievable (%s)"
+                % (len(shards), k, "; ".join(failures) or "no failures"))
         return decode_shards(shards, k, int(metadata["length"]))

@@ -10,7 +10,9 @@ this reproduction.  It provides:
 * :class:`~repro.netsim.connection.Connection` -- reliable ordered message
   channels with chunked transmission and an optional slow-start window model,
 * :mod:`~repro.netsim.http` -- a small HTTP/S model for web workloads,
-* :mod:`~repro.netsim.trace` -- packet traces for fingerprinting attacks.
+* :mod:`~repro.netsim.trace` -- packet traces for fingerprinting attacks,
+* :class:`~repro.netsim.faults.FaultPlane` -- deterministic fault injection
+  (node crashes, link cuts, latency spikes) on a seeded schedule.
 """
 
 from repro.netsim.simulator import Future, Simulator, SimThread, SimTimeoutError
@@ -26,6 +28,7 @@ from repro.netsim.bytestream import (
 )
 from repro.netsim.trace import PacketRecord, TraceRecorder
 from repro.netsim.http import HttpResponse, HttpServer, http_get
+from repro.netsim.faults import FaultPlane
 
 __all__ = [
     "Simulator",
@@ -47,4 +50,5 @@ __all__ = [
     "HttpServer",
     "HttpResponse",
     "http_get",
+    "FaultPlane",
 ]

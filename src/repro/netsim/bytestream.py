@@ -146,6 +146,11 @@ class DirectByteStream:
         """Close the stream/connection."""
         self.conn.close()
 
+    @property
+    def closed(self) -> bool:
+        """Whether the underlying connection has closed."""
+        return self.conn.closed
+
 
 class Framer:
     """Length-prefixed message framing over a byte pipe.
@@ -235,3 +240,8 @@ class FramedStream:
     def close(self) -> None:
         """Close the underlying stream."""
         self.stream.close()
+
+    @property
+    def closed(self) -> bool:
+        """Whether the underlying stream has closed (best effort)."""
+        return bool(getattr(self.stream, "closed", False))

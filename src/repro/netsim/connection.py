@@ -266,6 +266,8 @@ class Connection:
         self._endpoints = {initiator.name: Endpoint(sim), responder.name: Endpoint(sim)}
         self._peers = {initiator.name: responder, responder.name: initiator}
         self.bytes_sent = {initiator.name: 0, responder.name: 0}
+        initiator.connections[self] = None
+        responder.connections[self] = None
 
     # -- wiring ---------------------------------------------------------
 
@@ -384,12 +386,42 @@ class Connection:
     # -- teardown -----------------------------------------------------------
 
     def close(self) -> None:
-        """Close both directions.  Queued-but-undelivered messages are dropped."""
+        """Close both directions (drain-then-raise semantics).
+
+        Messages already delivered to an endpoint's queue remain readable:
+        :meth:`receive` keeps returning them after close and raises
+        :class:`ConnectionClosed` only once the queue is empty.  Messages
+        still serializing on the wire when close happens are dropped at
+        delivery time.  Blocked receivers are woken immediately.
+        """
         if self.closed:
             return
         self.closed = True
+        self.initiator.connections.pop(self, None)
+        self.responder.connections.pop(self, None)
         for node in (self.initiator, self.responder):
             self._endpoints[node.name]._notify_close(self)
+
+    def abort(self) -> None:
+        """Hard teardown for fault injection: kill in-flight bulk transfers.
+
+        A regular :meth:`close` lets an already-granted coalesced transfer
+        run to its delivery event (where ``_deliver`` drops it anyway); a
+        crash should not leave that event — or the interface commitment
+        behind it — around.  Cancel the delivery, detach the interfaces,
+        then close.  ``on_sent`` events stay scheduled: the sender's NIC
+        did serialize those bytes, and backpressure waiters must wake.
+        """
+        if self.closed:
+            return
+        for iface in (self.initiator.uplink, self.initiator.downlink,
+                      self.responder.uplink, self.responder.downlink):
+            bulk = iface._bulk
+            if bulk is not None and bulk.conn is self:
+                bulk.delivery_event.cancel()
+                bulk.uplink._bulk = None
+                bulk.downlink._bulk = None
+        self.close()
 
     def __repr__(self) -> str:
         return f"<Connection {self.initiator.name}<->{self.responder.name}>"
@@ -426,6 +458,7 @@ class LoopbackConnection:
         self.closed = False
         self._endpoint = Endpoint(sim)
         self._peer: Optional["LoopbackConnection"] = None
+        node.connections[self] = None
 
     @property
     def rtt(self) -> float:
@@ -469,11 +502,16 @@ class LoopbackConnection:
         return payload
 
     def close(self) -> None:
-        """Close the stream/connection."""
+        """Close the stream/connection (drain-then-raise, like Connection)."""
         if self.closed:
             return
         self.closed = True
+        self.initiator.connections.pop(self, None)
         self._endpoint._notify_close(self)
         peer = self._peer
         if peer is not None and not peer.closed:
             peer.close()
+
+    def abort(self) -> None:
+        """Hard teardown; loopback has no bulk transfers to cancel."""
+        self.close()

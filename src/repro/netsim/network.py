@@ -42,6 +42,8 @@ class Network:
         self._rng = sim.rng.fork("network-latency")
         self._next_host = 1
         self._dns: dict[str, str] = {}
+        # Installed by repro.netsim.faults.FaultPlane; None means no faults.
+        self.fault_plane = None
 
     # -- topology ---------------------------------------------------------
 
@@ -156,6 +158,15 @@ class Network:
         latency = self.latency(initiator, responder)
 
         def _complete() -> None:
+            # Fault check happens at handshake-completion time: a node that
+            # dies (or a link cut) during the handshake refuses the dial.
+            plane = self.fault_plane
+            if plane is not None:
+                reason = plane.deny_reason(initiator, responder)
+                if reason is not None:
+                    future.reject(NetworkError(
+                        f"connect {initiator.name}->{address}:{port} failed: {reason}"))
+                    return
             handler = responder.listener_for(port)
             if handler is None:
                 future.reject(NetworkError(

@@ -20,6 +20,12 @@ class Node:
     Default rates model a well-connected VPS (100 Mbit/s symmetric).  The
     evaluation scenarios override them to match the paper's EC2 instance
     classes.
+
+    A node is ``alive`` unless a :class:`repro.netsim.faults.FaultPlane`
+    has crashed it; while down its listeners are parked and every live
+    connection touching it is aborted.  Services that keep in-memory
+    state tied to the host (Bento servers, relays) can register crash and
+    restart listeners to reset that state in step with the host.
     """
 
     def __init__(
@@ -37,7 +43,16 @@ class Node:
         self.position = position      # optional 2-D coordinates (geo mode)
         self.uplink = Interface(sim, up_bytes_per_s, name=f"{name}.up")
         self.downlink = Interface(sim, down_bytes_per_s, name=f"{name}.down")
+        self.alive = True
+        # Live Connections touching this node.  A dict used as an
+        # insertion-ordered set: fault injection iterates this, and set()
+        # iteration order depends on object ids, which are not stable
+        # across runs — dict order is, keeping chaos runs deterministic.
+        self.connections: dict = {}
         self._listeners: dict[int, AcceptHandler] = {}
+        self._saved_listeners: Optional[dict[int, AcceptHandler]] = None
+        self._crash_listeners: list[Callable[["Node"], None]] = []
+        self._restart_listeners: list[Callable[["Node"], None]] = []
 
     def listen(self, port: int, handler: AcceptHandler) -> None:
         """Accept connections on ``port``; ``handler`` gets each new one."""
@@ -52,6 +67,16 @@ class Node:
     def listener_for(self, port: int) -> Optional[AcceptHandler]:
         """The accept handler bound to ``port``, if any."""
         return self._listeners.get(port)
+
+    # -- fault hooks -------------------------------------------------------
+
+    def add_crash_listener(self, fn: Callable[["Node"], None]) -> None:
+        """Call ``fn(node)`` when a fault plane crashes this node."""
+        self._crash_listeners.append(fn)
+
+    def add_restart_listener(self, fn: Callable[["Node"], None]) -> None:
+        """Call ``fn(node)`` when a crashed node comes back up."""
+        self._restart_listeners.append(fn)
 
     def __repr__(self) -> str:
         return f"<Node {self.name} addr={self.address}>"

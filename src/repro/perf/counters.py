@@ -19,6 +19,19 @@ _FIELDS = (
     "hash_calls",          # SHA-256 invocations in StreamCipher keystreams
     "keystream_bytes",     # keystream bytes consumed
     "cells_crypted",       # relay-cell layer applications (any direction)
+    # -- chaos plane / recovery ------------------------------------------
+    "faults_injected",     # crashes + link cuts + latency spikes
+    "node_crashes",        # nodes taken down by the fault plane
+    "node_restarts",       # crashed nodes brought back up
+    "links_cut",           # links severed by the fault plane
+    "links_healed",        # severed links restored
+    "latency_spikes",      # latency spikes injected
+    "conns_torn_down",     # connections aborted by faults
+    "retries",             # Bento client operations retried after a failure
+    "circuits_rebuilt",    # circuits successfully rebuilt after a failure
+    "session_reconnects",  # BentoSession reconnect-and-reattach completions
+    "replicas_respawned",  # LoadBalancer replicas re-created after box death
+    "orphans_reaped",      # FunctionInstances killed after their peer died
 )
 
 

@@ -420,5 +420,10 @@ class Circuit:
                 if not waiter.done:
                     waiter.reject(CircuitDestroyed("circuit destroyed"))
         self._control_waiters.clear()
+        # Drop ourselves from the owner's live-circuit list so rebuilds
+        # don't accumulate dead circuits (close_all copes either way).
+        owner_circuits = getattr(self.owner, "circuits", None)
+        if owner_circuits is not None and self in owner_circuits:
+            owner_circuits.remove(self)
         if self.on_destroy is not None:
             self.on_destroy(self)

@@ -11,12 +11,14 @@ import itertools
 from typing import Optional
 
 from repro.crypto.aead import AeadKey
-from repro.netsim.network import Network
+from repro.netsim.connection import ConnectionClosed
+from repro.netsim.network import Network, NetworkError
 from repro.netsim.node import Node
-from repro.netsim.simulator import Future, SimThread
+from repro.netsim.simulator import Future, SimThread, SimTimeoutError
+from repro.perf.counters import counters as _perf
 from repro.tor import ntor
 from repro.tor.cell import RelayCommand
-from repro.tor.circuit import HS_CLIENT, Circuit
+from repro.tor.circuit import HS_CLIENT, Circuit, CircuitDestroyed
 from repro.tor.descriptor import RelayDescriptor
 from repro.tor.directory import DirectoryAuthority
 from repro.tor.layercrypto import HopCrypto
@@ -33,6 +35,11 @@ class TorError(ReproError):
 
 class TorClient:
     """An onion proxy bound to one simulator node."""
+
+    #: How long (sim-seconds) a relay stays on the avoid list after a
+    #: build failure implicated it.  Long enough to steer rebuilds away
+    #: from a crashed relay, short enough that restarts become usable.
+    FAILED_RELAY_TTL = 120.0
 
     def __init__(self, network: Network, node: Node,
                  directory: DirectoryAuthority,
@@ -54,6 +61,8 @@ class TorClient:
         self._path_rng = self._rng.fork("paths")
         self._circ_ids = itertools.count(1)
         self.circuits: list[Circuit] = []
+        # Relays implicated in recent build failures: fp -> sim time noted.
+        self.failed_relays: dict[str, float] = {}
 
     # -- directory ---------------------------------------------------------
 
@@ -68,6 +77,21 @@ class TorClient:
         """A path selector over the verified consensus."""
         return PathSelector(self.consensus(), self._path_rng)
 
+    # -- failure tracking --------------------------------------------------
+
+    def note_relay_failure(self, identity_fp: str) -> None:
+        """Record that a build failure implicated this relay; subsequent
+        automatic path selection avoids it for :data:`FAILED_RELAY_TTL`."""
+        self.failed_relays[identity_fp] = self.sim.now
+
+    def avoided_relays(self) -> set[str]:
+        """Fingerprints currently on the avoid list (expired entries pruned)."""
+        horizon = self.sim.now - self.FAILED_RELAY_TTL
+        expired = [fp for fp, t in self.failed_relays.items() if t <= horizon]
+        for fp in expired:
+            del self.failed_relays[fp]
+        return set(self.failed_relays)
+
     # -- circuit construction ------------------------------------------------
 
     def build_circuit(self, thread: SimThread,
@@ -80,14 +104,19 @@ class TorClient:
 
         Either supply an explicit ``path`` or let the bandwidth-weighted
         selector choose ``length`` relays, optionally constrained to exit
-        toward ``exit_to`` or to end at ``final_hop``.
+        toward ``exit_to`` or to end at ``final_hop``.  Automatic selection
+        avoids relays recently implicated in build failures; a failed
+        CREATE/EXTEND here adds the offending relay to that avoid list.
         """
         if path is None:
             if exit_to is not None:
                 exit_addr = self.network.resolve(exit_to[0])
                 exit_to = (exit_addr, exit_to[1])
             selector = self.path_selector()
-            exclude: set[str] = set()
+            exclude: set[str] = self.avoided_relays()
+            if final_hop is not None:
+                # A pinned target is the caller's explicit choice.
+                exclude.discard(final_hop.identity_fp)
             sticky = None
             if self.use_entry_guard and length >= 2:
                 sticky = self._sticky_guard(selector)
@@ -105,16 +134,25 @@ class TorClient:
             raise TorError("empty circuit path")
 
         guard = path[0]
-        conn = self.network.connect_blocking(
-            thread, self.node, guard.address, guard.or_port, timeout=timeout)
+        try:
+            conn = self.network.connect_blocking(
+                thread, self.node, guard.address, guard.or_port, timeout=timeout)
+        except (NetworkError, SimTimeoutError):
+            self.note_relay_failure(guard.identity_fp)
+            raise
         circuit = Circuit(self, conn, next(self._circ_ids), path)
         circuit.attach_connection()
 
         # First hop: CREATE/CREATED.
         state = ntor.NtorClientState(
             self._rng.fork(f"ntor:{circuit.circ_id}:0"), guard.identity_fp)
-        created = circuit.send_raw_create(state.onionskin)
-        reply = thread.wait(created, timeout=timeout)
+        try:
+            created = circuit.send_raw_create(state.onionskin)
+            reply = thread.wait(created, timeout=timeout)
+        except (SimTimeoutError, CircuitDestroyed):
+            self.note_relay_failure(guard.identity_fp)
+            circuit.close()
+            raise
         circuit.add_hop(HopCrypto(state.finish(reply[:ntor.REPLY_LEN]),
                                   fast=self.fast_crypto))
 
@@ -128,20 +166,28 @@ class TorClient:
                 "port": relay.or_port,
                 "onionskin": state.onionskin,
             })
-            extended = circuit.expect_control(RelayCommand.EXTENDED)
-            failed = circuit.expect_control(RelayCommand.END)
-            circuit.send_relay(RelayCommand.EXTEND, 0, request)
-            # Wait on whichever control cell arrives first.
-            race = Future(self.sim)
-            extended.add_done_callback(
-                lambda fut: race.resolve(("extended", fut)) if not race.done else None)
-            failed.add_done_callback(
-                lambda fut: race.resolve(("end", fut)) if not race.done else None)
-            kind, fut = thread.wait(race, timeout=timeout)
-            if kind == "end":
+            try:
+                extended = circuit.expect_control(RelayCommand.EXTENDED)
+                failed = circuit.expect_control(RelayCommand.END)
+                circuit.send_relay(RelayCommand.EXTEND, 0, request)
+                # Wait on whichever control cell arrives first.
+                race = Future(self.sim)
+                extended.add_done_callback(
+                    lambda fut: race.resolve(("extended", fut)) if not race.done else None)
+                failed.add_done_callback(
+                    lambda fut: race.resolve(("end", fut)) if not race.done else None)
+                kind, fut = thread.wait(race, timeout=timeout)
+                if kind == "end":
+                    self.note_relay_failure(relay.identity_fp)
+                    circuit.close()
+                    raise TorError(f"extend to {relay.nickname} failed")
+                info = fut.result()
+            except (SimTimeoutError, CircuitDestroyed):
+                # A dead hop (or a cut link to it) swallows the EXTEND or
+                # kills the partial circuit; blame the hop being added.
+                self.note_relay_failure(relay.identity_fp)
                 circuit.close()
-                raise TorError(f"extend to {relay.nickname} failed")
-            info = fut.result()
+                raise
             circuit.add_hop(HopCrypto(
                 state.finish(info["data"][:ntor.REPLY_LEN]),
                 fast=self.fast_crypto))
@@ -149,10 +195,42 @@ class TorClient:
         self.circuits.append(circuit)
         return circuit
 
+    def build_circuit_with_retry(self, thread: SimThread, attempts: int = 3,
+                                 backoff_s: float = 1.0,
+                                 timeout: float = 120.0,
+                                 **kwargs) -> Circuit:
+        """Build a circuit, retrying with seeded exponential backoff.
+
+        Each retry re-runs path selection, which (via the avoid list fed
+        by :meth:`build_circuit`) steers around relays implicated in the
+        previous failures.  ``kwargs`` pass through to :meth:`build_circuit`.
+        """
+        last: Optional[BaseException] = None
+        for attempt in range(attempts):
+            try:
+                circuit = self.build_circuit(thread, timeout=timeout, **kwargs)
+            except (TorError, NetworkError, SimTimeoutError,
+                    CircuitDestroyed) as exc:
+                last = exc
+                if attempt == attempts - 1:
+                    break
+                delay = backoff_s * (2 ** attempt) * (0.5 + self._rng.random())
+                thread.sleep(delay)
+                continue
+            if attempt > 0:
+                _perf.circuits_rebuilt += 1
+            return circuit
+        raise TorError(
+            f"circuit build failed after {attempts} attempts: {last}") from last
+
     def _sticky_guard(self, selector: PathSelector) -> RelayDescriptor:
-        """The client's persistent entry guard (chosen once)."""
+        """The client's persistent entry guard (re-chosen if it failed)."""
+        if (self._entry_guard is not None
+                and self._entry_guard.identity_fp in self.avoided_relays()):
+            self._entry_guard = None
         if self._entry_guard is None:
-            self._entry_guard = selector.pick_guard()
+            self._entry_guard = selector.pick_guard(
+                exclude=self.avoided_relays())
         return self._entry_guard
 
     # -- streams --------------------------------------------------------------
@@ -189,13 +267,27 @@ class TorClient:
             RelayCommand.RENDEZVOUS_ESTABLISHED)
         rend_circuit.send_relay(RelayCommand.ESTABLISH_RENDEZVOUS, 0,
                                 canonical_encode({"cookie": cookie}))
-        thread.wait(established, timeout=timeout)
+        try:
+            thread.wait(established, timeout=timeout)
+        except (SimTimeoutError, CircuitDestroyed):
+            rend_circuit.close()
+            raise
 
         # 2. Introduce ourselves via one of the service's intro points.
-        intro_fp = self._rng.choice(descriptor.intro_points)
+        # Prefer intro points we have not recently seen fail; when none
+        # are known-bad this is the exact same draw as before.
+        avoided = self.avoided_relays()
+        intro_candidates = [fp for fp in descriptor.intro_points
+                            if fp not in avoided] or descriptor.intro_points
+        intro_fp = self._rng.choice(intro_candidates)
         intro_relay = consensus.find(intro_fp)
-        intro_circuit = self.build_circuit(thread, final_hop=intro_relay,
-                                           timeout=timeout)
+        try:
+            intro_circuit = self.build_circuit(thread, final_hop=intro_relay,
+                                               timeout=timeout)
+        except (TorError, NetworkError, SimTimeoutError, CircuitDestroyed):
+            self.note_relay_failure(intro_fp)
+            rend_circuit.close()
+            raise
         hs_state = ntor.NtorClientState(
             self._rng.fork(f"hs:{onion_address}:{self.sim.now}"), onion_address)
         if callable(intro_extra):
@@ -216,11 +308,21 @@ class TorClient:
             "sealed": sealed,
         })
         ack = intro_circuit.expect_control(RelayCommand.INTRODUCE_ACK)
-        intro_circuit.send_relay(RelayCommand.INTRODUCE1, 0, canonical_encode({
-            "service": onion_address,
-            "blob": blob,
-        }))
-        ack_info = thread.wait(ack, timeout=timeout)
+        try:
+            intro_circuit.send_relay(RelayCommand.INTRODUCE1, 0,
+                                     canonical_encode({
+                                         "service": onion_address,
+                                         "blob": blob,
+                                     }))
+            ack_info = thread.wait(ack, timeout=timeout)
+        except (SimTimeoutError, CircuitDestroyed, ConnectionClosed):
+            # The intro relay is up but the service's side of the intro
+            # circuit is gone (e.g. the relay crashed and came back
+            # empty): steer later attempts to a different intro point.
+            self.note_relay_failure(intro_fp)
+            intro_circuit.close()
+            rend_circuit.close()
+            raise
         status = canonical_decode(ack_info["data"]).get("status")
         intro_circuit.close()
         if status != "ok":
@@ -228,8 +330,12 @@ class TorClient:
             raise TorError(f"introduction failed: {status}")
 
         # 3. Wait for the service at the rendezvous point.
-        rend2 = rend_circuit.wait_control(thread, RelayCommand.RENDEZVOUS2,
-                                          timeout=timeout)
+        try:
+            rend2 = rend_circuit.wait_control(thread, RelayCommand.RENDEZVOUS2,
+                                              timeout=timeout)
+        except (SimTimeoutError, CircuitDestroyed):
+            rend_circuit.close()
+            raise
         reply = canonical_decode(rend2["data"])["blob"]
         keys = hs_state.finish(reply[:ntor.REPLY_LEN])
         rend_circuit.attach_hs(HopCrypto(keys, fast=self.fast_crypto), HS_CLIENT)

@@ -66,6 +66,7 @@ class HiddenService:
         self.manual_introductions = False
         self.introduction_queue: list[dict] = []
         self._intro_waiter = None
+        self._published = False
 
     # -- setup -----------------------------------------------------------
 
@@ -98,6 +99,7 @@ class HiddenService:
         )
         descriptor.sign(self.keypair)
         self.client.directory.publish_hs_descriptor(descriptor)
+        self._published = True
 
     # -- introductions ----------------------------------------------------
 
@@ -183,9 +185,15 @@ class HiddenService:
     # -- teardown -----------------------------------------------------------
 
     def shut_down(self) -> None:
-        """Close all circuits and withdraw the descriptor."""
+        """Close all circuits and withdraw the descriptor.
+
+        Only a service handle that actually published a descriptor
+        withdraws it: a replica holding shared key material (the
+        LoadBalancer pattern) must not tear down the owner's directory
+        entry when it retires."""
         for circuit in self.intro_circuits + self.rendezvous_circuits:
             circuit.close()
         self.intro_circuits.clear()
         self.rendezvous_circuits.clear()
-        self.client.directory.remove_hs_descriptor(str(self.onion_address))
+        if self._published:
+            self.client.directory.remove_hs_descriptor(str(self.onion_address))

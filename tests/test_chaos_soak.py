@@ -1,0 +1,61 @@
+"""The chaos-soak acceptance scenario: end-to-end recovery under faults,
+and bit-for-bit determinism of the whole run."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import check_soak, run_chaos_soak
+
+
+@pytest.fixture(scope="module")
+def soak_results():
+    """Two full runs with the same seed (module-scoped: the soak is the
+    most expensive test in the suite)."""
+    return run_chaos_soak(seed=2021), run_chaos_soak(seed=2021)
+
+
+class TestChaosSoak:
+    def test_deterministic_across_runs(self, soak_results):
+        first, second = soak_results
+        assert first == second
+
+    def test_all_invariants_hold(self, soak_results):
+        result, _ = soak_results
+        assert check_soak(result) == []
+
+    def test_enough_faults_were_injected(self, soak_results):
+        result, _ = soak_results
+        assert result["faults_injected"] >= 10
+        assert result["counters"]["node_crashes"] >= 3
+        assert result["counters"]["links_cut"] >= 1
+        assert result["counters"]["latency_spikes"] >= 1
+
+    def test_every_client_request_recovered(self, soak_results):
+        result, _ = soak_results
+        assert result["requests_attempted"] >= 6
+        assert result["requests_recovered"] == result["requests_attempted"]
+
+    def test_shard_reconstruction_bit_identical(self, soak_results):
+        result, _ = soak_results
+        assert result["shard_ok"]
+
+    def test_loadbalancer_replica_respawned(self, soak_results):
+        result, _ = soak_results
+        assert result["replicas_lost"] >= 1
+        assert result["counters"]["replicas_respawned"] >= 1
+        assert result["lb_events"].get("respawn", 0) >= 1
+
+    def test_recovery_machinery_was_exercised(self, soak_results):
+        result, _ = soak_results
+        counters = result["counters"]
+        assert counters["conns_torn_down"] >= 1
+        assert counters["retries"] >= 1
+        assert counters["orphans_reaped"] >= 1
+
+    def test_check_soak_flags_violations(self):
+        bad = {"faults_injected": 3, "requests_attempted": 6,
+               "requests_recovered": 4, "shard_ok": False,
+               "counters": {"replicas_respawned": 0}}
+        problems = check_soak(bad)
+        assert len(problems) == 4

@@ -1,0 +1,206 @@
+"""FaultPlane unit tests: crashes, link cuts, latency spikes, determinism.
+
+Also pins the Connection.close() drain-then-raise contract the fault plane
+relies on: queued messages stay readable after close; receive raises
+ConnectionClosed only once the queue is empty.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.connection import ConnectionClosed
+from repro.netsim.faults import FaultPlane
+from repro.netsim.network import Network, NetworkError
+from repro.netsim.simulator import Simulator
+from repro.perf.counters import counters as _perf
+
+
+@pytest.fixture()
+def world():
+    """A 3-node network with a listener on every node, plus its FaultPlane."""
+    sim = Simulator(seed="faults")
+    net = Network(sim)
+    for name in ("a", "b", "c"):
+        node = net.create_node(name)
+        node.listen(9, lambda conn: None)
+    plane = FaultPlane(net)
+    _perf.reset()
+    return sim, net, plane
+
+
+def dial(sim, net, frm, to):
+    """Dial ``to``:9 from ``frm`` and run the handshake to completion."""
+    future = net.connect(net.node(frm), net.node(to).address, 9)
+    sim.run()
+    return future
+
+
+class TestNodeCrash:
+    def test_crash_aborts_connections_and_refuses_dials(self, world):
+        sim, net, plane = world
+        conn = dial(sim, net, "a", "b").result()
+        plane.crash_node("b")
+        assert conn.closed
+        assert not plane.node_alive("b")
+        failed = dial(sim, net, "a", "b")
+        with pytest.raises(NetworkError, match="b is down"):
+            failed.result()
+        assert _perf.node_crashes == 1
+        assert _perf.conns_torn_down == 1
+        assert plane.log[0][1:] == ("crash", "b")
+
+    def test_crash_wakes_blocked_receiver(self, world):
+        sim, net, plane = world
+        conn = dial(sim, net, "a", "b").result()
+        outcome = {}
+
+        def receiver(thread):
+            try:
+                conn.receive(net.node("a"), thread)
+            except ConnectionClosed:
+                outcome["raised"] = True
+
+        thread = sim.spawn(receiver)
+        sim.schedule(1.0, plane.crash_node, "b")
+        sim.run_until_done(thread)
+        assert outcome == {"raised": True}
+
+    def test_restart_restores_listeners_and_notifies(self, world):
+        sim, net, plane = world
+        events = []
+        net.node("b").add_crash_listener(lambda n: events.append("crash"))
+        net.node("b").add_restart_listener(lambda n: events.append("restart"))
+        plane.crash_node("b", down_for_s=5.0)
+        assert net.node("b").listener_for(9) is None
+        sim.run()
+        assert plane.node_alive("b")
+        assert net.node("b").listener_for(9) is not None
+        assert events == ["crash", "restart"]
+        assert _perf.node_restarts == 1
+        assert dial(sim, net, "a", "b").result() is not None
+
+    def test_crash_dead_node_is_noop(self, world):
+        sim, net, plane = world
+        plane.crash_node("b")
+        plane.crash_node("b")
+        assert _perf.node_crashes == 1
+        assert len(plane.log) == 1
+
+
+class TestLinkFaults:
+    def test_cut_aborts_pair_connections_only(self, world):
+        sim, net, plane = world
+        ab = dial(sim, net, "a", "b").result()
+        ac = dial(sim, net, "a", "c").result()
+        plane.cut_link("a", "b")
+        assert ab.closed
+        assert not ac.closed
+        assert not plane.link_up("a", "b")
+        with pytest.raises(NetworkError, match="is cut"):
+            dial(sim, net, "b", "a").result()
+
+    def test_heal_restores_dialing(self, world):
+        sim, net, plane = world
+        plane.cut_link("a", "b", down_for_s=3.0)
+        sim.run()
+        assert plane.link_up("a", "b")
+        assert dial(sim, net, "a", "b").result() is not None
+        assert _perf.links_cut == 1
+        assert _perf.links_healed == 1
+
+    def test_partition_cuts_every_cross_link(self, world):
+        sim, net, plane = world
+        plane.partition(["a"], ["b", "c"])
+        assert not plane.link_up("a", "b")
+        assert not plane.link_up("a", "c")
+        assert plane.link_up("b", "c")
+        assert _perf.links_cut == 2
+
+
+class TestLatencySpike:
+    def test_spike_applies_and_clears(self, world):
+        sim, net, plane = world
+        conn = dial(sim, net, "a", "b").result()
+        base = conn.latency
+        plane.spike_latency("a", "b", 0.5, duration_s=10.0)
+        assert conn.latency == pytest.approx(base + 0.5)
+        # New dials during the spike inherit the raised latency model.
+        assert net.latency(net.node("a"), net.node("b")) == \
+            pytest.approx(base + 0.5)
+        sim.run()
+        assert conn.latency == pytest.approx(base)
+        assert net.latency(net.node("a"), net.node("b")) == pytest.approx(base)
+        kinds = [kind for _t, kind, _d in plane.log]
+        assert kinds == ["spike", "spike-clear"]
+        assert _perf.latency_spikes == 1
+
+
+class TestScheduleDeterminism:
+    def make_plan(self, seed):
+        sim = Simulator(seed=seed)
+        net = Network(sim)
+        for name in ("a", "b", "c", "d"):
+            net.create_node(name).listen(9, lambda conn: None)
+        plane = FaultPlane(net)
+        plan = plane.schedule_random(
+            node_names=["a", "b", "c", "d"], start_s=1.0, end_s=50.0,
+            n_crashes=2, n_link_cuts=2, n_latency_spikes=2)
+        sim.run()
+        return plan, list(plane.log)
+
+    def test_same_seed_same_schedule_and_log(self):
+        _perf.reset()
+        plan1, log1 = self.make_plan("chaos")
+        plan2, log2 = self.make_plan("chaos")
+        assert plan1 == plan2
+        assert log1 == log2
+        assert len(plan1) == 6
+
+    def test_different_seed_differs(self):
+        _perf.reset()
+        plan1, _ = self.make_plan("chaos")
+        plan2, _ = self.make_plan("other")
+        assert plan1 != plan2
+
+
+class TestCloseSemantics:
+    """The documented drain-then-raise contract of Connection.close()."""
+
+    def test_queued_messages_survive_close(self, world):
+        sim, net, plane = world
+        conn = dial(sim, net, "a", "b").result()
+        conn.send(net.node("b"), b"first")
+        conn.send(net.node("b"), b"second")
+        sim.run()  # both messages delivered into a's queue
+        conn.close()
+        got = []
+
+        def receiver(thread):
+            got.append(conn.receive(net.node("a"), thread))
+            got.append(conn.receive(net.node("a"), thread))
+            with pytest.raises(ConnectionClosed):
+                conn.receive(net.node("a"), thread)
+
+        sim.run_until_done(sim.spawn(receiver))
+        assert got == [b"first", b"second"]
+
+    def test_in_flight_messages_dropped_at_delivery(self, world):
+        sim, net, plane = world
+        conn = dial(sim, net, "a", "b").result()
+        conn.send(net.node("b"), b"late")
+        conn.close()  # closes before the wire delivers
+        sim.run()
+
+        def receiver(thread):
+            with pytest.raises(ConnectionClosed):
+                conn.receive(net.node("a"), thread)
+
+        sim.run_until_done(sim.spawn(receiver))
+
+    def test_send_on_closed_raises(self, world):
+        sim, net, plane = world
+        conn = dial(sim, net, "a", "b").result()
+        conn.close()
+        with pytest.raises(ConnectionClosed):
+            conn.send(net.node("a"), b"x")
