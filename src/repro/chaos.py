@@ -32,6 +32,8 @@ from repro.functions.loadbalancer import LoadBalancerFunction
 from repro.functions.shard import ShardFunction
 from repro.netsim.faults import FaultPlane
 from repro.netsim.simulator import SimThread, SimTimeoutError
+from repro.obs.metrics import REGISTRY as _metrics
+from repro.obs.span import EventLog, TRACER as _obs
 from repro.perf.counters import counters as _perf
 from repro.tor.testnet import TorTestNetwork
 
@@ -42,13 +44,32 @@ SOAK_DEADLINE_S = 4000.0
 
 
 def run_chaos_soak(seed: int = 2021, n_relays: int = 14,
-                   n_visitors: int = 6, verbose: bool = False) -> dict:
+                   n_visitors: int = 6, verbose: bool = False,
+                   trace_log: EventLog | None = None) -> dict:
     """Run the full chaos scenario; returns a deterministic summary dict.
 
     The dict contains only plain data (ints, strings, sorted structures)
     so two runs with the same ``seed`` can be compared with ``==``.
+
+    Pass ``trace_log`` to record the whole soak as structured spans and
+    events: the log is attached to the process tracer for the duration of
+    the run and detached afterwards (restoring whatever was attached
+    before).  Same seed + fresh log ⇒ byte-identical exports.
     """
     _perf.reset()
+    _metrics.reset()
+    previous = _obs.log
+    if trace_log is not None:
+        _obs.attach(trace_log)
+    try:
+        return _run_soak(seed, n_relays, n_visitors, verbose)
+    finally:
+        if trace_log is not None:
+            _obs.log = previous
+
+
+def _run_soak(seed: int, n_relays: int, n_visitors: int,
+              verbose: bool) -> dict:
     net = TorTestNetwork(n_relays=n_relays, seed=seed, bento_fraction=0.5,
                          fast_crypto=True)
     ias = IntelAttestationService(net.sim.rng.fork("ias"))
@@ -148,6 +169,15 @@ def run_chaos_soak(seed: int = 2021, n_relays: int = 14,
         # a reconnect window): count respawns from it.
         respawns = sum(1 for e in stats["events"] if e[1] == "respawn")
         _perf.replicas_respawned += respawns
+        _metrics.counter("lb_respawns").value += respawns
+        log = _obs.log
+        if log is not None:
+            # The sandboxed balancer cannot reach the tracer; surface its
+            # respawns here, stamped with the event's own simulated time.
+            for e in stats["events"]:
+                if e[1] == "respawn":
+                    log.instant("functions.lb_respawn", float(e[0]),
+                                track="loadbalancer", replicas=e[2])
         shared["lb_stats"] = stats
         session.close()
 

@@ -112,11 +112,40 @@ def _scenario_chaos_soak(seed: int) -> None:
     print("all soak invariants hold")
 
 
+def _scenario_trace_report(seed: int, out: str = "trace-report") -> None:
+    """Run the quickstart flow with the observability plane attached and
+    write the trace artifacts: a Perfetto-loadable Chrome trace, the raw
+    span/event JSONL, and a plain-text metrics snapshot.
+
+    All timestamps are simulated seconds — the same seed always produces
+    byte-identical artifacts.
+    """
+    from repro.obs import REGISTRY, TRACER, write_trace_report
+    from repro.perf.counters import counters
+    from repro.perf.timing import reset_sections
+
+    counters.reset()
+    reset_sections()
+    REGISTRY.reset()
+    log = TRACER.attach()
+    try:
+        _scenario_quickstart(seed)
+    finally:
+        TRACER.detach()
+    paths = write_trace_report(out, log)
+    print()
+    print(f"trace report: {len(log.spans)} spans, {len(log.events)} events")
+    for artifact, path in sorted(paths.items()):
+        print(f"  {artifact:12s} {path}")
+    print("load trace.json at ui.perfetto.dev (or chrome://tracing)")
+
+
 SCENARIOS = {
     "quickstart": _scenario_quickstart,
     "fingerprint": _scenario_fingerprint,
     "perf-report": _scenario_perf_report,
     "chaos-soak": _scenario_chaos_soak,
+    "trace-report": _scenario_trace_report,
 }
 
 
@@ -132,12 +161,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="scenario to run (or 'list')")
     parser.add_argument("--seed", type=int, default=2021,
                         help="simulation seed (default: 2021)")
+    parser.add_argument("--out", default="trace-report",
+                        help="output directory for trace-report artifacts "
+                             "(default: trace-report)")
     args = parser.parse_args(argv)
     if args.scenario == "list":
         for name in sorted(SCENARIOS):
             print(name)
         return 0
-    SCENARIOS[args.scenario](args.seed)
+    if args.scenario == "trace-report":
+        SCENARIOS[args.scenario](args.seed, out=args.out)
+    else:
+        SCENARIOS[args.scenario](args.seed)
     return 0
 
 

@@ -27,6 +27,7 @@ from repro.core.errors import BentoError
 from repro.netsim.bytestream import DirectByteStream
 from repro.netsim.http import HttpResponse, http_get
 from repro.netsim.simulator import Future, SimThread
+from repro.obs.span import TRACER as _obs
 from repro.sandbox.seccomp import SeccompViolation
 from repro.util.errors import ReproError
 
@@ -513,16 +514,30 @@ class FunctionApi:
             raise ApiError("no eligible Bento box to deploy to")
         box = boxes[0] if target_fingerprint else instance.rng.choice(boxes)
         manifest = FunctionManifest.from_wire(manifest_wire)
-        if direct:
-            session = client.connect_direct(self._thread, box,
-                                            timeout=timeout)
-        else:
-            session = client.connect(self._thread, box, timeout=timeout)
-        session.request_image(self._thread, manifest.image, timeout=timeout)
-        session.load_function(self._thread, code, manifest, timeout=timeout)
+        sim = instance.server.sim
+        log = _obs.log
+        span = log.begin_span(
+            "functions.deploy", sim.now,
+            track=instance.server.relay.nickname,
+            source=instance.instance_id, target=box.nickname,
+            function=manifest.name, direct=direct) if log is not None else None
+        try:
+            if direct:
+                session = client.connect_direct(self._thread, box,
+                                                timeout=timeout)
+            else:
+                session = client.connect(self._thread, box, timeout=timeout)
+            session.request_image(self._thread, manifest.image, timeout=timeout)
+            session.load_function(self._thread, code, manifest, timeout=timeout)
+        except BaseException as exc:
+            if span is not None:
+                span.end(sim.now, ok=False, error=type(exc).__name__)
+            raise
         self._remote_ids += 1
         handle = f"remote-{self._remote_ids}"
         self._remote_sessions[handle] = session
+        if span is not None:
+            span.end(sim.now, ok=True, handle=handle)
         return handle
 
     def _session(self, handle: str):

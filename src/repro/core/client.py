@@ -22,6 +22,8 @@ from repro.netsim.bytestream import FramedStream
 from repro.netsim.connection import ConnectionClosed
 from repro.netsim.network import NetworkError
 from repro.netsim.simulator import SimThread, SimTimeoutError
+from repro.obs.metrics import REGISTRY as _metrics
+from repro.obs.span import TRACER as _obs
 from repro.perf.counters import counters as _perf
 from repro.tor.circuit import Circuit, CircuitDestroyed
 from repro.tor.client import TorClient, TorError
@@ -125,6 +127,12 @@ class BentoClient:
         for attempt in range(attempts):
             if attempt > 0:
                 _perf.retries += 1
+                _metrics.counter("client_retries").value += 1
+                log = _obs.log
+                if log is not None:
+                    log.instant("core.retry", self.sim.now,
+                                track=self.tor.node.name, attempt=attempt,
+                                error=type(last).__name__ if last else "")
                 delay = min(backoff_s * (2 ** (attempt - 1)), max_backoff_s)
                 thread.sleep(delay * (0.5 + self.rng.random()))
                 if session is not None:
@@ -351,6 +359,12 @@ class BentoSession:
             self.framed = FramedStream(stream)
         self.attach(thread, self.invocation_token, timeout=timeout)
         _perf.session_reconnects += 1
+        _metrics.counter("session_reconnects").value += 1
+        log = _obs.log
+        if log is not None:
+            log.instant("core.session_reconnect", self.client.sim.now,
+                        track=self.client.tor.node.name,
+                        box=self.box.nickname)
 
     def shutdown(self, thread: SimThread, timeout: float = 120.0) -> None:
         """Spend the shutdown token; the container is reclaimed."""

@@ -37,6 +37,8 @@ from repro.enclave.sgx import EnclaveHost
 from repro.netsim.bytestream import DirectByteStream, FramedStream
 from repro.netsim.connection import Connection
 from repro.netsim.simulator import SimThread
+from repro.obs.metrics import REGISTRY as _metrics
+from repro.obs.span import TRACER as _obs
 from repro.perf.counters import counters as _perf
 from repro.sandbox.cgroups import CGroup, ResourceExceeded
 from repro.sandbox.container import Container
@@ -162,6 +164,12 @@ class FunctionInstance:
         if self.terminated:
             return
         self.terminated = True
+        log = _obs.log
+        if log is not None:
+            log.instant("core.instance_kill", self.server.sim.now,
+                        track=self.server.relay.nickname,
+                        instance=self.instance_id, reason=reason,
+                        graceful=graceful)
         self.api._kill(reason)
         if self.firewall is not None and graceful:
             self.firewall.release_all()
@@ -248,6 +256,11 @@ class BentoServer:
         return self.onion_address
 
     def _serve(self, thread: SimThread, framed: FramedStream) -> None:
+        log = _obs.log
+        span = log.begin_span(
+            "core.session", self.sim.now, track=self.relay.nickname,
+            relay=self.relay.nickname) if log is not None else None
+        frames_served = 0
         while True:
             try:
                 frame = framed.recv_frame(thread, timeout=3600.0)
@@ -255,6 +268,7 @@ class BentoServer:
                 break
             if frame is None:
                 break
+            frames_served += 1
             try:
                 message = messages.decode_message(frame)
             except ProtocolError as exc:
@@ -272,6 +286,8 @@ class BentoServer:
             except (BentoError, ResourceExceeded, LoaderError) as exc:
                 framed.send_frame(messages.error_message("request-failed",
                                                          detail=str(exc)))
+        if span is not None:
+            span.end(self.sim.now, frames=frames_served)
         if self.orphan_grace_s is not None:
             # This client is gone; sweep for orphans once the grace expires.
             self.sim.schedule(self.orphan_grace_s, self.reap_orphans)
@@ -279,6 +295,7 @@ class BentoServer:
     def _dispatch(self, thread: SimThread, framed: FramedStream,
                   message: dict) -> None:
         msg_type = message["type"]
+        _metrics.counter("bento_requests", {"type": msg_type}).value += 1
         if msg_type == messages.POLICY_QUERY:
             framed.send_frame(messages.encode_message(
                 messages.POLICY, policy=self.policy.to_wire()))
@@ -289,6 +306,12 @@ class BentoServer:
         elif msg_type == messages.INVOKE:
             instance = self._instance_for_invocation(message.get("token", ""))
             instance.note_peer(framed)
+            log = _obs.log
+            if log is not None:
+                log.instant("core.invoke", self.sim.now,
+                            track=self.relay.nickname,
+                            instance=instance.instance_id,
+                            n_args=len(message.get("args", [])))
             instance.invoke(list(message.get("args", [])), framed)
         elif msg_type == messages.MSG:
             instance = self._instance_for_invocation(message.get("token", ""))
@@ -297,6 +320,11 @@ class BentoServer:
         elif msg_type == messages.ATTACH:
             instance = self._instance_for_invocation(message.get("token", ""))
             instance.note_peer(framed)
+            log = _obs.log
+            if log is not None:
+                log.instant("core.attach", self.sim.now,
+                            track=self.relay.nickname,
+                            instance=instance.instance_id)
             framed.send_frame(messages.encode_message(messages.LOADED, ok=True))
         elif msg_type == messages.SHUTDOWN:
             self._handle_shutdown(framed, message)
@@ -308,6 +336,19 @@ class BentoServer:
 
     def _handle_request_image(self, thread: SimThread, framed: FramedStream,
                               message: dict) -> None:
+        log = _obs.log
+        span = log.begin_span(
+            "core.request_image", self.sim.now, track=self.relay.nickname,
+            image=message.get("image", "python")) if log is not None else None
+        try:
+            self._request_image(thread, framed, message, span)
+        except BaseException as exc:
+            if span is not None:
+                span.end(self.sim.now, ok=False, error=type(exc).__name__)
+            raise
+
+    def _request_image(self, thread: SimThread, framed: FramedStream,
+                       message: dict, span=None) -> None:
         image = image_by_name(message.get("image", "python"))
         if image.name not in self.policy.offered_images:
             raise ImageUnavailable(f"operator does not offer {image.name}")
@@ -354,6 +395,9 @@ class BentoServer:
         instance.note_peer(framed)
         self._by_invocation[tokens.invocation] = instance
         self._by_shutdown[tokens.shutdown] = instance
+        if span is not None:
+            span.end(self.sim.now, ok=True, instance=instance.instance_id,
+                     enclave=image.uses_enclave)
         framed.send_frame(messages.encode_message(
             messages.IMAGE_READY,
             container_id=instance.instance_id,
@@ -363,6 +407,27 @@ class BentoServer:
             **reply_fields))
 
     def _handle_load(self, framed: FramedStream, message: dict) -> None:
+        log = _obs.log
+        span = log.begin_span(
+            "core.load_function", self.sim.now,
+            track=self.relay.nickname) if log is not None else None
+        try:
+            self._load_function(framed, message, span)
+        except ManifestRejected as exc:
+            _metrics.counter("manifests_rejected").value += 1
+            if log is not None:
+                log.instant("core.manifest_rejected", self.sim.now,
+                            track=self.relay.nickname, reason=str(exc))
+            if span is not None:
+                span.end(self.sim.now, ok=False, error="ManifestRejected")
+            raise
+        except BaseException as exc:
+            if span is not None:
+                span.end(self.sim.now, ok=False, error=type(exc).__name__)
+            raise
+
+    def _load_function(self, framed: FramedStream, message: dict,
+                       span=None) -> None:
         instance = self._instance_for_invocation(message.get("token", ""))
         instance.note_peer(framed)
         manifest = FunctionManifest.from_wire(message["manifest"])
@@ -391,6 +456,9 @@ class BentoServer:
                   else instance.container.fs)
             instance.container.cgroup.charge("disk", len(data))
             fs.write_file(path, data)
+        if span is not None:
+            span.end(self.sim.now, ok=True, instance=instance.instance_id,
+                     name=manifest.name)
         framed.send_frame(messages.encode_message(messages.LOADED, ok=True))
 
     def _handle_shutdown(self, framed: FramedStream, message: dict) -> None:

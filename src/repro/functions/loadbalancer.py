@@ -23,6 +23,8 @@ import json
 
 from repro.core.manifest import FunctionManifest
 from repro.netsim.simulator import SimThread
+from repro.obs.metrics import REGISTRY as _metrics
+from repro.obs.span import TRACER as _obs
 from repro.tor.client import TorClient
 
 MB = 1024 * 1024
@@ -337,6 +339,12 @@ class LoadBalancerFunction:
         """
         from repro.core import messages
 
+        sim = session.client.sim
+        log = _obs.log
+        span = log.begin_span(
+            "functions.lb_start", sim.now, track=session.box.nickname,
+            box=session.box.nickname,
+            content_bytes=len(content)) if log is not None else None
         session.framed.send_frame(messages.encode_message(
             messages.INVOKE, token=session.invocation_token,
             args=[cls.REPLICA_SOURCE,
@@ -345,7 +353,10 @@ class LoadBalancerFunction:
                   poll_interval, announce]))
         session.send_message(content)
         ready = session.next_output(thread, timeout=timeout)
-        return json.loads(ready.decode("utf-8"))["onion"]
+        onion = json.loads(ready.decode("utf-8"))["onion"]
+        if span is not None:
+            span.end(sim.now, onion=onion)
+        return onion
 
     @staticmethod
     def download(thread: SimThread, tor_client: TorClient, onion: str,
@@ -356,24 +367,38 @@ class LoadBalancerFunction:
         GET, length-prefixed body, DONE.
         """
         started = tor_client.sim.now
-        circuit = tor_client.connect_to_hidden_service(thread, onion,
-                                                       timeout=timeout)
-        stream = circuit.open_stream(thread, "", 80, timeout=timeout)
-        stream.send(b"GET")
-        buffer = b""
-        while len(buffer) < 8:
-            chunk = stream.recv(thread, timeout=timeout)
-            if chunk == b"":
-                raise ConnectionError("service hung up before header")
-            buffer += chunk
-        total = int.from_bytes(buffer[:8], "big")
-        body = buffer[8:]
-        while len(body) < total:
-            chunk = stream.recv(thread, timeout=timeout)
-            if chunk == b"":
-                raise ConnectionError("service hung up mid-body")
-            body += chunk
-        stream.send(b"DONE")
-        stream.close()
-        circuit.close()
-        return body, tor_client.sim.now - started
+        log = _obs.log
+        span = log.begin_span(
+            "functions.lb_download", started, track=tor_client.node.name,
+            client=tor_client.node.name) if log is not None else None
+        try:
+            circuit = tor_client.connect_to_hidden_service(thread, onion,
+                                                           timeout=timeout)
+            stream = circuit.open_stream(thread, "", 80, timeout=timeout)
+            stream.send(b"GET")
+            buffer = b""
+            while len(buffer) < 8:
+                chunk = stream.recv(thread, timeout=timeout)
+                if chunk == b"":
+                    raise ConnectionError("service hung up before header")
+                buffer += chunk
+            total = int.from_bytes(buffer[:8], "big")
+            body = buffer[8:]
+            while len(body) < total:
+                chunk = stream.recv(thread, timeout=timeout)
+                if chunk == b"":
+                    raise ConnectionError("service hung up mid-body")
+                body += chunk
+            stream.send(b"DONE")
+            stream.close()
+            circuit.close()
+        except BaseException as exc:
+            if span is not None:
+                span.end(tor_client.sim.now, ok=False,
+                         error=type(exc).__name__)
+            raise
+        elapsed = tor_client.sim.now - started
+        _metrics.histogram("lb_download_s").observe(elapsed)
+        if span is not None:
+            span.end(tor_client.sim.now, ok=True, bytes=len(body))
+        return body, elapsed

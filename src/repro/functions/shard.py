@@ -20,6 +20,7 @@ from repro.coding.erasure import Shard, decode_shards
 from repro.core.manifest import FunctionManifest
 from repro.functions.dropbox import DropboxFunction
 from repro.netsim.simulator import SimThread
+from repro.obs.span import TRACER as _obs
 
 MB = 1024 * 1024
 
@@ -120,13 +121,21 @@ class ShardFunction:
         """Run the full scatter: returns the placement metadata."""
         from repro.core import messages
 
+        sim = session.client.sim
+        log = _obs.log
+        span = log.begin_span(
+            "functions.shard_scatter", sim.now, track=session.box.nickname,
+            n=n, k=k, bytes=len(data)) if log is not None else None
         dropbox_manifest = DropboxFunction.manifest(image="python").to_wire()
         session.framed.send_frame(messages.encode_message(
             messages.INVOKE, token=session.invocation_token,
             args=[n, k, DropboxFunction.SOURCE, dropbox_manifest, name,
                   expiry_s]))
         session.send_message(data)
-        return session.await_message(thread, messages.DONE, timeout)["result"]
+        result = session.await_message(thread, messages.DONE, timeout)["result"]
+        if span is not None:
+            span.end(sim.now, placements=len(result["placements"]))
+        return result
 
     @staticmethod
     def gather(thread: SimThread, bento_client, metadata: dict,
@@ -146,6 +155,12 @@ class ShardFunction:
         from repro.core.errors import BentoError
 
         k = int(metadata["k"])
+        sim = bento_client.sim
+        log = _obs.log
+        span = log.begin_span(
+            "functions.shard_gather", sim.now,
+            track=bento_client.tor.node.name,
+            k=k, n=int(metadata["n"])) if log is not None else None
         placements = metadata["placements"]
         by_index = {p["index"]: p for p in placements}
         if use_indices is None:
@@ -190,7 +205,13 @@ class ShardFunction:
                 continue
             shards.append(Shard(index=index, data=piece))
         if len(shards) < k:
+            if span is not None:
+                span.end(sim.now, ok=False, retrieved=len(shards),
+                         failures=len(failures))
             raise BentoError(
                 "gather: only %d of %d required shards retrievable (%s)"
                 % (len(shards), k, "; ".join(failures) or "no failures"))
+        if span is not None:
+            span.end(sim.now, ok=True, retrieved=len(shards),
+                     failures=len(failures))
         return decode_shards(shards, k, int(metadata["length"]))

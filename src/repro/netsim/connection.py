@@ -25,6 +25,7 @@ from typing import Any, Callable, Optional
 
 from repro.netsim.node import Node
 from repro.netsim.simulator import Future, Simulator
+from repro.obs.span import TRACER as _obs
 from repro.perf.counters import counters as _perf
 
 # Chunk size for interleaving concurrent flows on an interface.  Small
@@ -93,7 +94,7 @@ class _BulkTransfer:
 
     __slots__ = ("conn", "sender", "receiver", "payload", "nbytes", "on_sent",
                  "chunks", "uplink", "downlink", "U", "A", "D", "down_busy0",
-                 "delivery_event", "on_sent_event", "on_sent_fired")
+                 "delivery_event", "on_sent_event", "on_sent_fired", "span")
 
     @classmethod
     def try_grant(cls, conn: "Connection", sender: Node, receiver: Node,
@@ -154,6 +155,14 @@ class _BulkTransfer:
         else:
             self.on_sent_event = None
         self.delivery_event = sim.schedule_at(D[-1], self._complete)
+        log = _obs.log
+        if log is not None:
+            self.span = log.begin_span(
+                "netsim.bulk_transfer", sim.now, track=sender.name,
+                sender=sender.name, receiver=receiver.name,
+                bytes=nbytes, chunks=len(chunks))
+        else:
+            self.span = None
 
     # -- uncontended completion ------------------------------------------
 
@@ -174,6 +183,8 @@ class _BulkTransfer:
             for finish, chunk in zip(self.D, chunks):
                 for tap in self.downlink._taps:
                     tap(finish, chunk)
+        if self.span is not None:
+            self.span.end(self.conn.sim.now, outcome="delivered")
         self.conn._deliver(self.receiver, self.payload, self.nbytes)
 
     # -- contention -------------------------------------------------------
@@ -246,6 +257,9 @@ class _BulkTransfer:
         # started == last: the (still pending) on_sent event stays scheduled
         # at U[last], exactly where the chunked world would have put it.
         _perf.bulk_preemptions += 1
+        if self.span is not None:
+            self.span.end(t, outcome="preempted",
+                          chunks_started=started + 1, chunks_arrived=arrived + 1)
 
 
 class Connection:
@@ -268,6 +282,13 @@ class Connection:
         self.bytes_sent = {initiator.name: 0, responder.name: 0}
         initiator.connections[self] = None
         responder.connections[self] = None
+        log = _obs.log
+        if log is not None:
+            self._span = log.begin_span(
+                "netsim.connection", sim.now, track=initiator.name,
+                initiator=initiator.name, responder=responder.name)
+        else:
+            self._span = None
 
     # -- wiring ---------------------------------------------------------
 
@@ -399,6 +420,10 @@ class Connection:
         self.closed = True
         self.initiator.connections.pop(self, None)
         self.responder.connections.pop(self, None)
+        if self._span is not None:
+            self._span.end(self.sim.now,
+                           bytes_initiator=self.bytes_sent[self.initiator.name],
+                           bytes_responder=self.bytes_sent[self.responder.name])
         for node in (self.initiator, self.responder):
             self._endpoints[node.name]._notify_close(self)
 
@@ -421,6 +446,10 @@ class Connection:
                 bulk.delivery_event.cancel()
                 bulk.uplink._bulk = None
                 bulk.downlink._bulk = None
+                if bulk.span is not None:
+                    bulk.span.end(self.sim.now, outcome="aborted")
+        if self._span is not None:
+            self._span.annotate(aborted=True)
         self.close()
 
     def __repr__(self) -> str:

@@ -35,6 +35,8 @@ from typing import Iterable, Optional, Sequence
 
 from repro.netsim.network import Network
 from repro.netsim.node import Node
+from repro.obs.metrics import REGISTRY as _metrics
+from repro.obs.span import TRACER as _obs
 from repro.perf.counters import counters as _perf
 from repro.util.rng import DeterministicRandom
 
@@ -50,7 +52,15 @@ class FaultPlane:
         self._cut: set[tuple[str, str]] = set()
         #: (sim_time, kind, detail) tuples, in injection order.
         self.log: list[tuple[float, str, str]] = []
+        # Open observability spans for in-progress faults (crash->restart,
+        # cut->heal, spike->clear); keyed by node name / pair key.
+        self._node_spans: dict = {}
+        self._link_spans: dict = {}
+        self._spike_spans: dict = {}
         network.fault_plane = self
+
+    def _count_fault(self, kind: str) -> None:
+        _metrics.counter("faults_injected", {"kind": kind}).inc()
 
     # -- queries -----------------------------------------------------------
 
@@ -88,9 +98,18 @@ class FaultPlane:
         node._saved_listeners = dict(node._listeners)
         node._listeners.clear()
         self._abort_connections(list(node.connections))
+        # A dead host records nothing: its packet-trace taps come off now
+        # (and stay off — an observer process does not survive the crash).
+        for recorder in list(node.trace_recorders):
+            recorder.detach()
         _perf.faults_injected += 1
         _perf.node_crashes += 1
         self.log.append((self.sim.now, "crash", name))
+        self._count_fault("crash")
+        log = _obs.log
+        if log is not None:
+            self._node_spans[name] = log.begin_span(
+                "fault.node_down", self.sim.now, track="faults", node=name)
         for fn in list(node._crash_listeners):
             fn(node)
         if down_for_s is not None:
@@ -109,6 +128,9 @@ class FaultPlane:
             node._saved_listeners = None
         _perf.node_restarts += 1
         self.log.append((self.sim.now, "restart", name))
+        span = self._node_spans.pop(name, None)
+        if span is not None:
+            span.end(self.sim.now, restarted=True)
         for fn in list(node._restart_listeners):
             fn(node)
 
@@ -129,6 +151,12 @@ class FaultPlane:
         _perf.faults_injected += 1
         _perf.links_cut += 1
         self.log.append((self.sim.now, "cut", f"{key[0]}<->{key[1]}"))
+        self._count_fault("cut")
+        log = _obs.log
+        if log is not None:
+            self._link_spans[key] = log.begin_span(
+                "fault.link_down", self.sim.now, track="faults",
+                link=f"{key[0]}<->{key[1]}")
         if down_for_s is not None:
             self.sim.schedule(down_for_s, self.heal_link, a, b)
 
@@ -140,6 +168,9 @@ class FaultPlane:
         self._cut.discard(key)
         _perf.links_healed += 1
         self.log.append((self.sim.now, "heal", f"{key[0]}<->{key[1]}"))
+        span = self._link_spans.pop(key, None)
+        if span is not None:
+            span.end(self.sim.now, healed=True)
 
     def partition(self, group_a: Iterable[str], group_b: Iterable[str],
                   down_for_s: Optional[float] = None) -> None:
@@ -169,17 +200,26 @@ class FaultPlane:
         _perf.faults_injected += 1
         _perf.latency_spikes += 1
         self.log.append((self.sim.now, "spike", f"{a}<->{b} +{extra_s:g}s"))
+        self._count_fault("spike")
+        log = _obs.log
+        span = None
+        if log is not None:
+            span = log.begin_span(
+                "fault.latency_spike", self.sim.now, track="faults",
+                link=f"{a}<->{b}", extra_s=extra_s)
         if duration_s is not None:
             self.sim.schedule(duration_s, self._clear_spike, a, b, extra_s,
-                              affected, base)
+                              affected, base, span)
 
     def _clear_spike(self, a: str, b: str, extra_s: float,
-                     affected: list, base: float) -> None:
+                     affected: list, base: float, span=None) -> None:
         self.network.set_latency(a, b, base)
         for conn in affected:
             if not conn.closed:
                 conn.latency = max(0.0, conn.latency - extra_s)
         self.log.append((self.sim.now, "spike-clear", f"{a}<->{b}"))
+        if span is not None:
+            span.end(self.sim.now, cleared=True)
 
     # -- seeded schedules --------------------------------------------------
 

@@ -41,6 +41,13 @@ class Interface:
         """Register ``tap(completion_time, nbytes)`` for every chunk serialized."""
         self._taps.append(tap)
 
+    def remove_tap(self, tap: Callable[[float, int], None]) -> None:
+        """Unregister a tap; removing an unknown tap is a no-op."""
+        try:
+            self._taps.remove(tap)
+        except ValueError:
+            pass
+
     def transmit(self, nbytes: int, then: Optional[Callable] = None,
                  extra_delay: float = 0.0, then_args: tuple = ()) -> float:
         """Serialize ``nbytes`` through this interface.

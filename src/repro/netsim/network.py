@@ -7,6 +7,7 @@ from typing import Optional
 from repro.netsim.connection import Connection
 from repro.netsim.node import Node
 from repro.netsim.simulator import Future, Simulator
+from repro.obs.span import TRACER as _obs
 from repro.util.errors import ReproError
 
 
@@ -156,6 +157,11 @@ class Network:
             self.sim.schedule(0.0, future.reject, exc)
             return future
         latency = self.latency(initiator, responder)
+        log = _obs.log
+        span = log.begin_span(
+            "netsim.dial", self.sim.now, track=initiator.name,
+            initiator=initiator.name, responder=responder.name,
+            port=port) if log is not None else None
 
         def _complete() -> None:
             # Fault check happens at handshake-completion time: a node that
@@ -164,16 +170,22 @@ class Network:
             if plane is not None:
                 reason = plane.deny_reason(initiator, responder)
                 if reason is not None:
+                    if span is not None:
+                        span.end(self.sim.now, ok=False, reason=reason)
                     future.reject(NetworkError(
                         f"connect {initiator.name}->{address}:{port} failed: {reason}"))
                     return
             handler = responder.listener_for(port)
             if handler is None:
+                if span is not None:
+                    span.end(self.sim.now, ok=False, reason="refused")
                 future.reject(NetworkError(
                     f"connection refused: {address}:{port} ({responder.name})"))
                 return
             conn = Connection(self.sim, initiator, responder, latency)
             handler(conn)
+            if span is not None:
+                span.end(self.sim.now, ok=True)
             future.resolve(conn)
 
         self.sim.schedule(handshake_rtts * 2.0 * latency, _complete)

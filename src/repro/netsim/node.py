@@ -49,6 +49,9 @@ class Node:
         # iteration order depends on object ids, which are not stable
         # across runs — dict order is, keeping chaos runs deterministic.
         self.connections: dict = {}
+        # TraceRecorders tapping this node's interfaces; the fault plane
+        # detaches them on crash (a dead host records nothing).
+        self.trace_recorders: list = []
         self._listeners: dict[int, AcceptHandler] = {}
         self._saved_listeners: Optional[dict[int, AcceptHandler]] = None
         self._crash_listeners: list[Callable[["Node"], None]] = []

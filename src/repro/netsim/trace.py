@@ -37,8 +37,27 @@ class TraceRecorder:
         self.node = node
         self.records: list[PacketRecord] = []
         self._start_index = 0
+        self.detached = False
         node.uplink.add_tap(self._tap_out)
         node.downlink.add_tap(self._tap_in)
+        node.trace_recorders.append(self)
+
+    def detach(self) -> None:
+        """Remove this recorder's taps from the node's interfaces.
+
+        Called by the fault plane when the node crashes (the observer
+        process dies with the host); also usable directly when a recording
+        session ends.  Records collected so far stay readable.  Idempotent.
+        """
+        if self.detached:
+            return
+        self.detached = True
+        self.node.uplink.remove_tap(self._tap_out)
+        self.node.downlink.remove_tap(self._tap_in)
+        try:
+            self.node.trace_recorders.remove(self)
+        except ValueError:
+            pass
 
     def _tap_out(self, time: float, size: int) -> None:
         if size > 0:

@@ -1,0 +1,39 @@
+"""The observability plane: structured spans, labeled metrics, exporters.
+
+Three pieces, used together or alone:
+
+* :mod:`repro.obs.span` — :class:`Span`/:class:`EventLog` plus the
+  process-wide :data:`TRACER` the instrumented layers (netsim, tor, core,
+  functions) emit into.  Free when detached.
+* :mod:`repro.obs.metrics` — the labeled :data:`REGISTRY` of counters,
+  gauges, and histograms, with the legacy perf counters bridged on.
+* :mod:`repro.obs.export` — deterministic JSONL / Chrome-trace / text
+  exporters (``repro trace-report`` on the CLI).
+
+Everything runs on the simulated clock: no exporter output ever contains
+wall time, so a seeded run's artifacts are byte-identical across runs.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    events_to_jsonl,
+    metrics_text,
+    write_trace_report,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    bridge_perf_counters,
+)
+from repro.obs.span import TRACER, EventLog, InstantEvent, Span, Tracer
+
+__all__ = [
+    "Span", "InstantEvent", "EventLog", "Tracer", "TRACER",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "REGISTRY",
+    "DEFAULT_BUCKETS", "bridge_perf_counters",
+    "events_to_jsonl", "chrome_trace", "metrics_text", "write_trace_report",
+]

@@ -21,6 +21,8 @@ from typing import Callable, Optional
 
 from repro.netsim.connection import Connection, ConnectionClosed
 from repro.netsim.simulator import Future, SimThread
+from repro.obs.metrics import REGISTRY as _metrics
+from repro.obs.span import TRACER as _obs
 from repro.tor.cell import (
     CELL_SIZE,
     RELAY_DATA_SIZE,
@@ -42,6 +44,11 @@ from repro.util.serialization import canonical_decode, canonical_encode
 
 HS_CLIENT = "client"
 HS_SERVICE = "service"
+
+# Cached metric handles (reset in place between tests; see repro.obs).
+_CTR_STREAM_OK = _metrics.counter("streams_opened", {"outcome": "ok"})
+_CTR_STREAM_FAIL = _metrics.counter("streams_opened", {"outcome": "error"})
+_HIST_STREAM_OPEN = _metrics.histogram("stream_open_s")
 
 
 class CircuitDestroyed(ReproError):
@@ -386,10 +393,26 @@ class Circuit:
         stream_id = next(self._stream_ids)
         stream = self._stream_cls(self, stream_id)
         self.streams[stream_id] = stream
+        log = _obs.log
+        span = log.begin_span(
+            "tor.stream_open", self.sim.now, track=self.owner.node.name,
+            circ_id=self.circ_id, stream_id=stream_id, host=host,
+            port=port) if log is not None else None
+        t0 = self.sim.now
         data = canonical_encode({"host": host, "port": port})
-        self.send_relay(RelayCommand.BEGIN, stream_id, data,
-                        to_hs=self.hs_crypto is not None)
-        stream.wait_connected(thread, timeout=timeout)
+        try:
+            self.send_relay(RelayCommand.BEGIN, stream_id, data,
+                            to_hs=self.hs_crypto is not None)
+            stream.wait_connected(thread, timeout=timeout)
+        except BaseException as exc:
+            _CTR_STREAM_FAIL.value += 1
+            if span is not None:
+                span.end(self.sim.now, ok=False, error=type(exc).__name__)
+            raise
+        _CTR_STREAM_OK.value += 1
+        _HIST_STREAM_OPEN.observe(self.sim.now - t0)
+        if span is not None:
+            span.end(self.sim.now, ok=True)
         return stream
 
     # -- teardown ---------------------------------------------------------------------

@@ -15,6 +15,8 @@ from repro.netsim.connection import ConnectionClosed
 from repro.netsim.network import Network, NetworkError
 from repro.netsim.node import Node
 from repro.netsim.simulator import Future, SimThread, SimTimeoutError
+from repro.obs.metrics import REGISTRY as _metrics
+from repro.obs.span import TRACER as _obs
 from repro.perf.counters import counters as _perf
 from repro.tor import ntor
 from repro.tor.cell import RelayCommand
@@ -31,6 +33,14 @@ from repro.util.serialization import canonical_decode, canonical_encode
 
 class TorError(ReproError):
     """Raised for circuit-construction and rendezvous failures."""
+
+
+# Cached metric handles: one registry probe at import, an attribute add
+# per observation afterwards (the registry resets these in place).
+_HIST_CIRCUIT_BUILD = _metrics.histogram("circuit_build_s")
+_HIST_HS_RENDEZVOUS = _metrics.histogram("hs_rendezvous_s")
+_CTR_BUILD_OK = _metrics.counter("circuit_builds", {"outcome": "ok"})
+_CTR_BUILD_FAIL = _metrics.counter("circuit_builds", {"outcome": "error"})
 
 
 class TorClient:
@@ -108,6 +118,34 @@ class TorClient:
         avoids relays recently implicated in build failures; a failed
         CREATE/EXTEND here adds the offending relay to that avoid list.
         """
+        log = _obs.log
+        span = log.begin_span(
+            "tor.circuit_build", self.sim.now, track=self.node.name,
+            client=self.node.name) if log is not None else None
+        t0 = self.sim.now
+        try:
+            circuit = self._build_circuit(thread, path=path, length=length,
+                                          exit_to=exit_to, final_hop=final_hop,
+                                          timeout=timeout)
+        except BaseException as exc:
+            _CTR_BUILD_FAIL.value += 1
+            if span is not None:
+                span.end(self.sim.now, ok=False, error=type(exc).__name__)
+            raise
+        _CTR_BUILD_OK.value += 1
+        _HIST_CIRCUIT_BUILD.observe(self.sim.now - t0)
+        if span is not None:
+            span.end(self.sim.now, ok=True, circ_id=circuit.circ_id,
+                     hops=len(circuit.path),
+                     guard=circuit.path[0].nickname)
+        return circuit
+
+    def _build_circuit(self, thread: SimThread,
+                       path: Optional[list[RelayDescriptor]] = None,
+                       length: int = 3,
+                       exit_to: Optional[tuple[str, int]] = None,
+                       final_hop: Optional[RelayDescriptor] = None,
+                       timeout: float = 120.0) -> Circuit:
         if path is None:
             if exit_to is not None:
                 exit_addr = self.network.resolve(exit_to[0])
@@ -253,6 +291,29 @@ class TorClient:
         be a dict, or a callable ``f(cookie) -> dict`` for extras that
         must be bound to the rendezvous cookie (client puzzles).
         """
+        log = _obs.log
+        span = log.begin_span(
+            "tor.hs_rendezvous", self.sim.now, track=self.node.name,
+            client=self.node.name, onion=onion_address) \
+            if log is not None else None
+        t0 = self.sim.now
+        try:
+            circuit = self._connect_to_hidden_service(
+                thread, onion_address, timeout=timeout,
+                intro_extra=intro_extra)
+        except BaseException as exc:
+            if span is not None:
+                span.end(self.sim.now, ok=False, error=type(exc).__name__)
+            raise
+        _HIST_HS_RENDEZVOUS.observe(self.sim.now - t0)
+        if span is not None:
+            span.end(self.sim.now, ok=True, circ_id=circuit.circ_id)
+        return circuit
+
+    def _connect_to_hidden_service(self, thread: SimThread,
+                                   onion_address: str,
+                                   timeout: float = 240.0,
+                                   intro_extra=None) -> Circuit:
         descriptor = self.directory.fetch_hs_descriptor(onion_address)
         if not descriptor.verify():
             raise TorError(f"bad hidden-service descriptor for {onion_address}")

@@ -27,7 +27,13 @@ import hashlib
 
 from repro.crypto.kdf import hkdf
 from repro.crypto.stream import StreamCipher
+from repro.obs.metrics import REGISTRY as _metrics
 from repro.perf.counters import counters as _perf
+
+# Hottest counters in the codebase: handles cached at import, one plain
+# attribute add per call (the registry resets values in place).
+_CELLS_FWD = _metrics.counter("cells_crypted", {"direction": "fwd"})
+_CELLS_BWD = _metrics.counter("cells_crypted", {"direction": "bwd"})
 from repro.tor.cell import RELAY_PAYLOAD_SIZE, RelayCellPayload
 from repro.tor.ntor import CircuitKeys
 from repro.util.bytesutil import xor_bytes
@@ -118,11 +124,13 @@ class HopCrypto:
     def crypt_forward(self, payload: bytes) -> bytes:
         """Apply this hop's forward layer (encrypt at client, strip at relay)."""
         _perf.cells_crypted += 1
+        _CELLS_FWD.value += 1
         return self._layer.forward(payload)
 
     def crypt_backward(self, payload: bytes) -> bytes:
         """Apply this hop's backward layer."""
         _perf.cells_crypted += 1
+        _CELLS_BWD.value += 1
         return self._layer.backward(payload)
 
     def crypt_forward_many(self, payloads: list[bytes]) -> list[bytes]:
@@ -132,11 +140,13 @@ class HopCrypto:
         consumed in list order.
         """
         _perf.cells_crypted += len(payloads)
+        _CELLS_FWD.value += len(payloads)
         return self._layer.forward_many(payloads)
 
     def crypt_backward_many(self, payloads: list[bytes]) -> list[bytes]:
         """Apply the backward layer to consecutive payloads in one batch."""
         _perf.cells_crypted += len(payloads)
+        _CELLS_BWD.value += len(payloads)
         return self._layer.backward_many(payloads)
 
     # -- digests ---------------------------------------------------------

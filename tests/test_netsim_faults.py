@@ -164,6 +164,153 @@ class TestScheduleDeterminism:
         assert plan1 != plan2
 
 
+class TestSpikeEdgeCases:
+    def test_spike_during_inflight_coalesced_transfer(self, world):
+        """A spike landing mid-bulk-transfer must not corrupt delivery or
+        leave the latency model raised after it clears."""
+        sim, net, plane = world
+        conn = dial(sim, net, "a", "b").result()
+        base = conn.latency
+        payload = bytes(1_000_000)
+        conn.send(net.node("a"), payload)
+        assert net.node("a").uplink._bulk is not None  # coalesced path taken
+        sim.schedule(0.01, plane.spike_latency, "a", "b", 0.5, 2.0)
+        got = []
+
+        def receiver(thread):
+            got.append(conn.receive(net.node("b"), thread))
+
+        sim.run_until_done(sim.spawn(receiver))
+        assert got == [payload]
+        sim.run()  # let the spike expire
+        assert conn.latency == pytest.approx(base)
+        assert net.latency(net.node("a"), net.node("b")) == pytest.approx(base)
+        kinds = [kind for _t, kind, _d in plane.log]
+        assert kinds == ["spike", "spike-clear"]
+
+    def test_spike_clears_after_connection_closed(self, world):
+        """The scheduled clear must skip closed connections but still
+        restore the pair's latency model."""
+        sim, net, plane = world
+        conn = dial(sim, net, "a", "b").result()
+        base = net.latency(net.node("a"), net.node("b"))
+        plane.spike_latency("a", "b", 0.5, duration_s=5.0)
+        conn.close()
+        sim.run()
+        assert net.latency(net.node("a"), net.node("b")) == pytest.approx(base)
+        kinds = [kind for _t, kind, _d in plane.log]
+        assert kinds == ["spike", "spike-clear"]
+
+    def test_manual_heal_before_scheduled_heal(self, world):
+        """Healing a link before its scheduled heal expires must heal once;
+        the later scheduled heal is a no-op."""
+        sim, net, plane = world
+        plane.cut_link("a", "b", down_for_s=10.0)
+        sim.schedule(2.0, plane.heal_link, "a", "b")
+        sim.run()
+        assert plane.link_up("a", "b")
+        assert _perf.links_healed == 1
+        kinds = [kind for _t, kind, _d in plane.log]
+        assert kinds == ["cut", "heal"]
+        assert dial(sim, net, "a", "b").result() is not None
+
+
+class TestTraceRecorderCrash:
+    """Regression: a crashed host's packet-trace taps must come off.
+
+    Before the fix, a TraceRecorder on a crashed node kept recording
+    traffic after the node restarted — an observer process that somehow
+    survived the host dying.
+    """
+
+    def test_crash_detaches_recorder(self, world):
+        from repro.netsim.trace import TraceRecorder
+
+        sim, net, plane = world
+        recorder = TraceRecorder(net.node("b"))
+        conn = dial(sim, net, "a", "b").result()
+        conn.send(net.node("a"), b"x" * 2000)
+        sim.run()
+        before = len(recorder.records)
+        assert before > 0
+        plane.crash_node("b", down_for_s=5.0)
+        assert recorder.detached
+        assert recorder not in net.node("b").trace_recorders
+        assert recorder._tap_out not in net.node("b").uplink._taps
+        assert recorder._tap_in not in net.node("b").downlink._taps
+        sim.run()  # restart happens
+        conn2 = dial(sim, net, "a", "b").result()
+        conn2.send(net.node("a"), b"y" * 2000)
+        sim.run()
+        # A dead host records nothing, even after it comes back up...
+        assert len(recorder.records) == before
+        # ...but what it captured before the crash stays readable.
+        assert recorder.total_bytes() > 0
+
+    def test_detach_is_idempotent_and_manual(self, world):
+        from repro.netsim.trace import TraceRecorder
+
+        sim, net, plane = world
+        recorder = TraceRecorder(net.node("a"))
+        recorder.detach()
+        recorder.detach()
+        assert net.node("a").uplink._taps == []
+        assert net.node("a").trace_recorders == []
+
+    def test_fresh_recorder_after_restart_works(self, world):
+        from repro.netsim.trace import TraceRecorder
+
+        sim, net, plane = world
+        plane.crash_node("b", down_for_s=1.0)
+        sim.run()
+        recorder = TraceRecorder(net.node("b"))
+        conn = dial(sim, net, "a", "b").result()
+        conn.send(net.node("a"), b"z" * 2000)
+        sim.run()
+        assert recorder.total_bytes() > 0
+
+
+class TestFaultObservability:
+    def test_fault_spans_open_and_close(self, world):
+        from repro.obs.metrics import REGISTRY
+        from repro.obs.span import TRACER
+
+        sim, net, plane = world
+        log = TRACER.attach()
+        try:
+            plane.crash_node("b", down_for_s=5.0)
+            plane.cut_link("a", "c", down_for_s=5.0)
+            plane.spike_latency("a", "b", 0.1, duration_s=5.0)
+            sim.run()
+        finally:
+            TRACER.detach()
+        by_name = {span.name: span for span in log.spans}
+        assert by_name["fault.node_down"].attrs["restarted"] is True
+        assert by_name["fault.link_down"].attrs["healed"] is True
+        assert by_name["fault.latency_spike"].attrs["cleared"] is True
+        assert log.open_spans() == []
+        assert REGISTRY.counter("faults_injected",
+                                {"kind": "crash"}).value == 1
+        assert REGISTRY.counter("faults_injected",
+                                {"kind": "cut"}).value == 1
+        assert REGISTRY.counter("faults_injected",
+                                {"kind": "spike"}).value == 1
+
+    def test_permanent_crash_leaves_span_open(self, world):
+        from repro.obs.span import TRACER
+
+        sim, net, plane = world
+        log = TRACER.attach()
+        try:
+            plane.crash_node("b")
+            sim.run()
+        finally:
+            TRACER.detach()
+        down = next(s for s in log.spans if s.name == "fault.node_down")
+        assert down.open
+        assert down.attrs["node"] == "b"
+
+
 class TestCloseSemantics:
     """The documented drain-then-raise contract of Connection.close()."""
 

@@ -1,0 +1,163 @@
+"""Metrics registry unit tests: interning, kinds, reset-in-place, bridge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    bridge_perf_counters,
+)
+from repro.perf.counters import counters as _perf
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_direct_value(self, registry):
+        counter = registry.counter("requests", {"type": "invoke"})
+        counter.inc()
+        counter.inc(4)
+        counter.value += 2  # the hot-path idiom
+        assert counter.value == 7
+
+    def test_negative_inc_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("c").inc(-1)
+
+    def test_same_key_same_object(self, registry):
+        a = registry.counter("hits", {"route": "a", "code": "200"})
+        b = registry.counter("hits", {"code": "200", "route": "a"})
+        assert a is b
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+
+class TestHistogram:
+    def test_bucket_placement_upper_inclusive(self, registry):
+        hist = registry.histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 4.0, 99.0):
+            hist.observe(value)
+        # value == bound lands in that bound's bucket; above all bounds
+        # lands in the implicit +inf overflow bucket.
+        assert hist.bucket_counts == [2, 1, 1, 1]
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(106.0)
+
+    def test_cumulative(self, registry):
+        hist = registry.histogram("lat", buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 3.0, 3.5):
+            hist.observe(value)
+        assert hist.cumulative() == [(1.0, 1), (2.0, 2), (float("inf"), 4)]
+
+    def test_bounds_sorted_and_distinct(self, registry):
+        hist = registry.histogram("h", buckets=(4.0, 1.0, 2.0))
+        assert hist.bounds == (1.0, 2.0, 4.0)
+        with pytest.raises(ValueError):
+            Histogram("bad", (), bounds=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("empty", (), bounds=())
+
+    def test_buckets_only_apply_on_first_creation(self, registry):
+        first = registry.histogram("h", buckets=(1.0,))
+        again = registry.histogram("h", buckets=(9.0, 10.0))
+        assert again is first
+        assert again.bounds == (1.0,)
+
+    def test_default_buckets(self, registry):
+        assert registry.histogram("h").bounds == DEFAULT_BUCKETS
+
+
+class TestRegistry:
+    def test_label_interning_identity(self, registry):
+        key1 = registry.labels_key({"a": "1", "b": "2"})
+        key2 = registry.labels_key({"b": "2", "a": "1"})
+        assert key1 is key2
+        assert registry.labels_key(None) == ()
+        assert registry.labels_key({}) == ()
+
+    def test_kind_mismatch_raises(self, registry):
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x")
+        registry.histogram("h")
+        with pytest.raises(TypeError):
+            registry.counter("h")
+
+    def test_collect_sorted(self, registry):
+        registry.counter("zeta")
+        registry.counter("alpha", {"l": "2"})
+        registry.counter("alpha", {"l": "1"})
+        names = [(m.name, m.labels) for m in registry.collect()]
+        assert names == sorted(names)
+
+    def test_snapshot_shapes(self, registry):
+        registry.counter("c", {"k": "v"}).inc(3)
+        registry.gauge("g").set(-2)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap['c{k="v"}'] == 3
+        assert snap["g"] == -2
+        assert snap["h"] == {"count": 1, "sum": 0.5,
+                             "buckets": [[1.0, 1], ["+inf", 0]]}
+
+    def test_reset_zeroes_in_place(self, registry):
+        counter = registry.counter("c")
+        gauge = registry.gauge("g")
+        hist = registry.histogram("h", buckets=(1.0,))
+        counter.inc(5)
+        gauge.set(7)
+        hist.observe(0.1)
+        registry.reset()
+        # The same objects — cached module-level handles stay usable.
+        assert registry.counter("c") is counter
+        assert counter.value == 0
+        assert gauge.value == 0
+        assert hist.count == 0
+        assert hist.bucket_counts == [0, 0]
+        assert hist.sum == 0.0
+        assert len(registry) == 3
+
+    def test_metric_objects_carry_interned_labels(self, registry):
+        counter = registry.counter("c", {"x": "y"})
+        assert isinstance(counter, Counter)
+        assert counter.labels == (("x", "y"),)
+        assert isinstance(registry.gauge("g"), Gauge)
+
+
+class TestPerfBridge:
+    def test_bridge_projects_all_fields(self, registry):
+        _perf.reset()
+        _perf.hash_calls += 11
+        _perf.retries += 2
+        bridge_perf_counters(registry)
+        assert registry.counter("perf_hash_calls").value == 11
+        assert registry.counter("perf_retries").value == 2
+        # Every legacy field is present, even the zero ones.
+        fields = set(_perf.snapshot())
+        bridged = {m.name for m in registry.collect()}
+        assert {f"perf_{f}" for f in fields} <= bridged
+
+    def test_bridge_is_a_projection_not_a_tap(self, registry):
+        _perf.reset()
+        bridge_perf_counters(registry)
+        _perf.hash_calls += 5
+        assert registry.counter("perf_hash_calls").value == 0
+        bridge_perf_counters(registry)
+        assert registry.counter("perf_hash_calls").value == 5

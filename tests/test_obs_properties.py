@@ -1,0 +1,133 @@
+"""Property tests for the observability plane (hypothesis).
+
+Three invariants the rest of the PR leans on:
+
+* span logs stay well-formed under arbitrary begin/end interleavings
+  (and export deterministically);
+* a histogram's bucket counts always sum to its observation count;
+* label-set interning returns the identical key object for equal labels.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.export import chrome_trace, events_to_jsonl
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import EventLog
+
+# Each step either begins a span (optionally parented on a random open
+# span) or ends a random open span; the clock advances by a non-negative
+# amount before the action.
+_steps = st.lists(
+    st.tuples(st.sampled_from(["begin", "begin_child", "end"]),
+              st.floats(min_value=0.0, max_value=10.0,
+                        allow_nan=False, allow_infinity=False),
+              st.integers(min_value=0)),
+    max_size=60)
+
+
+def _replay(steps):
+    """Apply an interleaving to a fresh log; returns (log, open stack)."""
+    log = EventLog()
+    now = 0.0
+    open_spans = []
+    for action, dt, pick in steps:
+        now += dt
+        if action == "end":
+            if open_spans:
+                open_spans.pop(pick % len(open_spans)).end(now)
+        else:
+            parent = None
+            if action == "begin_child" and open_spans:
+                parent = open_spans[pick % len(open_spans)]
+            open_spans.append(
+                log.begin_span(f"op{len(log.spans)}", now, parent=parent))
+    return log, open_spans
+
+
+class TestSpanInterleavings:
+    @given(_steps)
+    @settings(max_examples=150, deadline=None)
+    def test_log_stays_well_formed(self, steps):
+        log, open_spans = _replay(steps)
+        by_id = {span.span_id: span for span in log.spans}
+        ids = [span.span_id for span in log.spans]
+        assert ids == sorted(ids) and len(set(ids)) == len(ids)
+        for span in log.spans:
+            if span.t_end is not None:
+                assert span.t_end >= span.t_begin
+            if span.parent_id is not None:
+                parent = by_id[span.parent_id]
+                assert parent.t_begin <= span.t_begin
+                assert parent.span_id < span.span_id
+        assert log.open_spans() == [s for s in log.spans if s.t_end is None]
+        assert set(log.open_spans()) == set(open_spans)
+
+    @given(_steps)
+    @settings(max_examples=60, deadline=None)
+    def test_exports_deterministic_and_complete(self, steps):
+        log, _open = _replay(steps)
+        jsonl = events_to_jsonl(log)
+        assert jsonl == events_to_jsonl(log)
+        assert len(jsonl.splitlines()) == len(log.spans)
+        trace = chrome_trace(log)
+        assert trace == chrome_trace(log)
+        doc = json.loads(trace)
+        timeline = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        assert len(timeline) == len(log.spans)
+        assert sorted(e["ph"] for e in timeline) == sorted(
+            "B" if s.t_end is None else "X" for s in log.spans)
+
+
+class TestHistogramProperty:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), max_size=200),
+           st.sets(st.floats(min_value=0.0, max_value=1e3,
+                             allow_nan=False),
+                   min_size=1, max_size=12))
+    @settings(max_examples=150, deadline=None)
+    def test_bucket_counts_sum_to_count(self, values, bounds):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=tuple(bounds))
+        for value in values:
+            hist.observe(value)
+        assert sum(hist.bucket_counts) == hist.count == len(values)
+        # Cumulative view agrees, and its last entry covers everything.
+        cumulative = hist.cumulative()
+        assert cumulative[-1] == (float("inf"), len(values))
+        running = [n for _bound, n in cumulative]
+        assert running == sorted(running)
+
+
+_labels = st.dictionaries(
+    st.text(min_size=1, max_size=8), st.text(max_size=8), max_size=5)
+
+
+class TestLabelInterning:
+    @given(_labels, st.randoms(use_true_random=False))
+    @settings(max_examples=150, deadline=None)
+    def test_equal_labels_identical_key(self, labels, rnd):
+        registry = MetricsRegistry()
+        shuffled = list(labels.items())
+        rnd.shuffle(shuffled)
+        key1 = registry.labels_key(labels)
+        key2 = registry.labels_key(dict(shuffled))
+        assert key1 is key2
+        assert registry.counter("m", labels) is \
+            registry.counter("m", dict(shuffled))
+
+    @given(_labels, _labels)
+    @settings(max_examples=100, deadline=None)
+    def test_distinct_labels_distinct_metrics(self, a, b):
+        registry = MetricsRegistry()
+        ca = registry.counter("m", a)
+        cb = registry.counter("m", b)
+        # str() canonicalization: dicts equal after stringification must
+        # intern together; anything else must stay separate.
+        same = {str(k): str(v) for k, v in a.items()} == \
+            {str(k): str(v) for k, v in b.items()}
+        assert (ca is cb) == same

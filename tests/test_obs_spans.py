@@ -1,0 +1,128 @@
+"""Span/EventLog/Tracer unit tests: lifecycle, ids, and the detached path."""
+
+from __future__ import annotations
+
+from repro.obs.span import TRACER, EventLog, Span, Tracer
+
+
+class TestSpan:
+    def test_begin_end_duration(self):
+        log = EventLog()
+        span = log.begin_span("op", 1.0, kind="test")
+        assert span.open
+        assert span.duration is None
+        span.end(3.5, ok=True)
+        assert not span.open
+        assert span.duration == 2.5
+        assert span.attrs == {"kind": "test", "ok": True}
+
+    def test_first_end_wins(self):
+        log = EventLog()
+        span = log.begin_span("op", 1.0)
+        span.end(2.0, outcome="first")
+        span.end(9.0, outcome="second")
+        assert span.t_end == 2.0
+        assert span.attrs == {"outcome": "first"}
+
+    def test_end_clamps_to_begin(self):
+        log = EventLog()
+        span = log.begin_span("op", 5.0)
+        span.end(4.0)
+        assert span.t_end == 5.0
+        assert span.duration == 0.0
+
+    def test_annotate_merges_and_chains(self):
+        log = EventLog()
+        span = log.begin_span("op", 0.0, a=1)
+        assert span.annotate(b=2) is span
+        assert span.attrs == {"a": 1, "b": 2}
+
+    def test_parent_link(self):
+        log = EventLog()
+        parent = log.begin_span("outer", 0.0)
+        child = log.begin_span("inner", 1.0, parent=parent)
+        assert child.parent_id == parent.span_id
+        assert parent.parent_id is None
+
+    def test_repr_states(self):
+        log = EventLog()
+        span = log.begin_span("op", 0.0)
+        assert "open" in repr(span)
+        span.end(1.0)
+        assert "dur=" in repr(span)
+
+
+class TestEventLog:
+    def test_ids_sequential_across_spans_and_events(self):
+        log = EventLog()
+        s1 = log.begin_span("a", 0.0)
+        e1 = log.instant("b", 0.5)
+        s2 = log.begin_span("c", 1.0)
+        assert [s1.span_id, e1.event_id, s2.span_id] == [1, 2, 3]
+        assert len(log) == 3
+
+    def test_open_spans_tracks_unended(self):
+        log = EventLog()
+        a = log.begin_span("a", 0.0)
+        b = log.begin_span("b", 0.0)
+        a.end(1.0)
+        assert log.open_spans() == [b]
+
+    def test_clear_restarts_ids(self):
+        log = EventLog()
+        log.begin_span("a", 0.0)
+        log.instant("b", 0.0)
+        log.clear()
+        assert len(log) == 0
+        assert log.begin_span("c", 0.0).span_id == 1
+
+    def test_instant_event_fields(self):
+        log = EventLog()
+        event = log.instant("fault", 3.0, node="b")
+        assert event.name == "fault"
+        assert event.time == 3.0
+        assert event.attrs == {"node": "b"}
+        assert "fault" in repr(event)
+
+
+class TestTracer:
+    def test_detached_by_default(self):
+        assert Tracer().log is None
+
+    def test_attach_creates_log(self):
+        tracer = Tracer()
+        log = tracer.attach()
+        assert isinstance(log, EventLog)
+        assert tracer.log is log
+
+    def test_attach_existing_log(self):
+        tracer = Tracer()
+        mine = EventLog()
+        assert tracer.attach(mine) is mine
+        assert tracer.log is mine
+
+    def test_detach_returns_log(self):
+        tracer = Tracer()
+        log = tracer.attach()
+        assert tracer.detach() is log
+        assert tracer.log is None
+        assert tracer.detach() is None
+
+    def test_begin_and_event_noop_when_detached(self):
+        tracer = Tracer()
+        assert tracer.begin("op", 0.0) is None
+        tracer.event("ev", 0.0)  # must not raise
+
+    def test_begin_and_event_record_when_attached(self):
+        tracer = Tracer()
+        log = tracer.attach()
+        span = tracer.begin("op", 0.0, key="v")
+        tracer.event("ev", 1.0)
+        assert isinstance(span, Span)
+        assert log.spans == [span]
+        assert [e.name for e in log.events] == ["ev"]
+
+    def test_process_tracer_starts_detached_in_tests(self):
+        # The conftest fixture detaches between tests; instrumented code
+        # paths must therefore run at zero cost during the suite.
+        assert TRACER.log is None
