@@ -1,0 +1,101 @@
+"""Regression guard for the hot-path benchmark's counters.
+
+Compares a fresh ``bench_hotpath.py`` run (typically the ``--smoke``
+variant CI just produced) against a reference ``BENCH_hotpath.json``
+(the committed full run).  Counters that scale with transfer volume are
+normalized per byte, so a 1 MB smoke run is comparable to the committed
+10 MB run; fixed-overhead counters (circuit setup, timer slots) are
+deliberately not guarded — they do not scale with size.
+
+    python benchmarks/check_hotpath_regression.py \
+        --reference /tmp/BENCH_hotpath_ref.json \
+        --current benchmarks/BENCH_hotpath.json
+
+Exits nonzero if any per-byte counter drifts past the tolerance or any
+hard invariant (zero heap compactions, crypto-mode timing invariance,
+zero-copy coverage of the payload) is violated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Counters proportional to bytes transferred; ratio-guarded per byte.
+VOLUME_COUNTERS = (
+    "bytes_zero_copied",
+    "cells_crypted",
+    "chunks_coalesced",
+    "chunks_transmitted",
+    "events_processed",
+    "events_scheduled",
+    "hash_calls",
+    "keystream_bytes",
+)
+
+SECTIONS = ("macro_fast", "macro_real", "fanin")
+
+
+def check(reference: dict, current: dict, tolerance: float) -> list[str]:
+    """Return a list of human-readable regression descriptions."""
+    problems: list[str] = []
+    for section in SECTIONS:
+        ref, cur = reference.get(section), current.get(section)
+        if ref is None or cur is None:
+            problems.append(f"{section}: missing from "
+                            f"{'reference' if ref is None else 'current'}")
+            continue
+        for name in VOLUME_COUNTERS:
+            ref_per_byte = ref["counters"].get(name, 0) / ref["bytes"]
+            cur_per_byte = cur["counters"].get(name, 0) / cur["bytes"]
+            if ref_per_byte == 0:
+                continue
+            drift = cur_per_byte / ref_per_byte - 1.0
+            if abs(drift) > tolerance:
+                problems.append(
+                    f"{section}.{name}: {cur_per_byte:.6f}/byte vs "
+                    f"reference {ref_per_byte:.6f}/byte "
+                    f"({drift:+.1%}, tolerance ±{tolerance:.0%})")
+        if cur["counters"].get("heap_compactions", 0) != 0:
+            problems.append(f"{section}: heap_compactions != 0 — timer "
+                            f"slots are leaking tombstones again")
+    fast, real = current.get("macro_fast"), current.get("macro_real")
+    if fast and real:
+        if (fast["elapsed"], fast["sim_now"]) != \
+                (real["elapsed"], real["sim_now"]):
+            problems.append("macro_fast and macro_real disagree on "
+                            "simulated time — an optimization leaked "
+                            "into the event schedule")
+        if fast["counters"].get("bytes_zero_copied", 0) < fast["bytes"]:
+            problems.append("macro_fast: zero-copy path covered less "
+                            "than the payload")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reference", type=Path, required=True,
+                        help="committed BENCH_hotpath.json to compare against")
+    parser.add_argument("--current", type=Path,
+                        default=Path(__file__).parent / "BENCH_hotpath.json",
+                        help="freshly produced BENCH_hotpath.json")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed per-byte drift (default: 25%%)")
+    args = parser.parse_args(argv)
+
+    reference = json.loads(args.reference.read_text())
+    current = json.loads(args.current.read_text())
+    problems = check(reference, current, args.tolerance)
+    for problem in problems:
+        print(f"REGRESSION: {problem}")
+    if problems:
+        return 1
+    print(f"hot-path counters within ±{args.tolerance:.0%} of "
+          f"{args.reference} across {', '.join(SECTIONS)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

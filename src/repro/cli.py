@@ -140,8 +140,46 @@ def _scenario_trace_report(seed: int, out: str = "trace-report") -> None:
     print("load trace.json at ui.perfetto.dev (or chrome://tracing)")
 
 
+def _scenario_scale_report(seed: int) -> None:
+    """Run one in-process N=100 session sweep from the scale benchmark
+    and print wall-clock, event-throughput, and cache-hit-rate numbers.
+
+    The full subprocess sweep (N in {10, 100, 1000}, with peak-RSS
+    attribution per N and the frozen pre-optimization baseline) lives in
+    ``benchmarks/bench_scale.py``; this scenario is the quick look.
+    """
+    import importlib.util
+    from pathlib import Path
+
+    bench_path = (Path(__file__).resolve().parent.parent.parent
+                  / "benchmarks" / "bench_scale.py")
+    if not bench_path.exists():
+        print("benchmarks/bench_scale.py not found (installed package?); "
+              "run from a source checkout")
+        raise SystemExit(1)
+    spec = importlib.util.spec_from_file_location("bench_scale", bench_path)
+    bench = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(bench)
+
+    result = bench.run_scale(100, seed=seed)
+    print(f"scale report (seed={seed}): {result['n_sessions']} sessions, "
+          f"{result['n_clients']} clients")
+    print(f"  wall:              {result['wall_s']:.3f}s "
+          f"(simulated t={result['sim_now']:.1f}s)")
+    print(f"  events:            {result['events_processed']} "
+          f"({result['events_per_s']:.0f}/s)")
+    print(f"  cells crypted:     {result['cells_crypted']}")
+    print(f"  timers cancelled:  {result['timers_cancelled']}")
+    print(f"  bytes zero-copied: {result['bytes_zero_copied']}")
+    for layer, stats in sorted(result["cache_hit_rates"].items()):
+        print(f"  cache[{layer}]: {stats['hits']}/"
+              f"{stats['hits'] + stats['misses']} hit rate "
+              f"{stats['rate'] * 100:.1f}%")
+
+
 SCENARIOS = {
     "quickstart": _scenario_quickstart,
+    "scale-report": _scenario_scale_report,
     "fingerprint": _scenario_fingerprint,
     "perf-report": _scenario_perf_report,
     "chaos-soak": _scenario_chaos_soak,

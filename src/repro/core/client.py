@@ -39,18 +39,30 @@ RETRYABLE_ERRORS = (BentoError, ConnectionClosed, SimTimeoutError,
                     CircuitDestroyed, TorError, NetworkError, ProtocolError,
                     ConnectionError)
 
+# Cached registry handles (the registry resets values in place).
+_HIT_CIRCUIT = _metrics.counter("cache_hits", {"layer": "circuit"})
+_MISS_CIRCUIT = _metrics.counter("cache_misses", {"layer": "circuit"})
+
 
 class BentoClient:
     """A user's handle for dealing with Bento boxes."""
 
     def __init__(self, tor_client: TorClient,
                  ias: Optional[IntelAttestationService] = None,
-                 rng: Optional[DeterministicRandom] = None) -> None:
+                 rng: Optional[DeterministicRandom] = None,
+                 reuse_circuits: bool = False) -> None:
         self.tor = tor_client
         self.sim = tor_client.sim
         self.ias = ias
         self.rng = rng or tor_client.sim.rng.fork(
             f"bentoclient:{tor_client.node.name}")
+        # Opt-in circuit pooling: keep one live circuit per box and open
+        # new streams on it instead of paying a fresh three-hop build
+        # (three ntor handshakes) per session.  Off by default — pooling
+        # changes the event schedule, and fixed-seed reproductions of the
+        # one-circuit-per-session flow must stay bit-identical.
+        self.reuse_circuits = reuse_circuits
+        self._circuit_pool: dict[str, Circuit] = {}
 
     # -- discovery ----------------------------------------------------------
 
@@ -75,9 +87,30 @@ class BentoClient:
         """Open a session over Tor: circuit ending at the box, stream to
         its Bento port via the localhost exception."""
         own_circuit = circuit is None
+        if circuit is None and self.reuse_circuits:
+            pooled = self._circuit_pool.get(box.identity_fp)
+            if pooled is not None and not pooled.destroyed:
+                _HIT_CIRCUIT.value += 1
+                try:
+                    stream = pooled.open_stream(thread, box.address,
+                                                box.bento_port, timeout=timeout)
+                except RETRYABLE_ERRORS:
+                    # The pooled circuit died under us; evict and fall
+                    # through to a fresh build.
+                    self._circuit_pool.pop(box.identity_fp, None)
+                else:
+                    # Pooled circuits are owned by the pool, not the
+                    # session: close() drops only the stream.
+                    return BentoSession(self, FramedStream(stream), pooled,
+                                        close_circuit=False, box=box)
+            else:
+                _MISS_CIRCUIT.value += 1
         if circuit is None:
             circuit = self.tor.build_circuit(thread, final_hop=box,
                                              timeout=timeout)
+            if self.reuse_circuits:
+                self._circuit_pool[box.identity_fp] = circuit
+                own_circuit = False
         stream = circuit.open_stream(thread, box.address, box.bento_port,
                                      timeout=timeout)
         return BentoSession(self, FramedStream(stream), circuit,

@@ -54,6 +54,15 @@ from repro.tor.relay import Relay
 from repro.util.errors import ProtocolError
 from repro.util.serialization import canonical_encode
 
+# Cached registry handles (the registry resets values in place).
+_HIT_IMAGE = _metrics.counter("cache_hits", {"layer": "image"})
+_MISS_IMAGE = _metrics.counter("cache_misses", {"layer": "image"})
+_HIT_POLICY = _metrics.counter("cache_hits", {"layer": "policy"})
+_MISS_POLICY = _metrics.counter("cache_misses", {"layer": "policy"})
+# bento_requests handles by message type, filled on first dispatch of each
+# type — the per-frame hot path skips the registry's label interning.
+_REQ_COUNTERS: dict = {}
+
 
 class FunctionInstance:
     """One loaded function: container + (optional) conclave + runtime."""
@@ -225,6 +234,12 @@ class BentoServer:
         # invocation) are killed that many seconds after the last peer
         # drops.  Default None preserves pure §5.3 box fate-sharing.
         self.orphan_grace_s = orphan_grace_s
+        # Control-plane caches.  Both hold only policy-derived verdicts
+        # (the operator's offered-image check; manifest accept/reject),
+        # so the only thing that can stale them is this box losing state
+        # — hence both are dropped on crash along with the functions.
+        self._image_cache: dict[str, ContainerImage] = {}
+        self._manifest_cache: dict[bytes, FunctionManifest] = {}
         # Host death kills every hosted function with it (fate-sharing
         # with the box); a restart comes back empty.
         self.node.add_crash_listener(self._on_node_crash)
@@ -295,7 +310,11 @@ class BentoServer:
     def _dispatch(self, thread: SimThread, framed: FramedStream,
                   message: dict) -> None:
         msg_type = message["type"]
-        _metrics.counter("bento_requests", {"type": msg_type}).value += 1
+        counter = _REQ_COUNTERS.get(msg_type)
+        if counter is None:
+            counter = _REQ_COUNTERS[msg_type] = _metrics.counter(
+                "bento_requests", {"type": msg_type})
+        counter.value += 1
         if msg_type == messages.POLICY_QUERY:
             framed.send_frame(messages.encode_message(
                 messages.POLICY, policy=self.policy.to_wire()))
@@ -349,9 +368,16 @@ class BentoServer:
 
     def _request_image(self, thread: SimThread, framed: FramedStream,
                        message: dict, span=None) -> None:
-        image = image_by_name(message.get("image", "python"))
-        if image.name not in self.policy.offered_images:
-            raise ImageUnavailable(f"operator does not offer {image.name}")
+        name = message.get("image", "python")
+        image = self._image_cache.get(name)
+        if image is not None:
+            _HIT_IMAGE.value += 1
+        else:
+            _MISS_IMAGE.value += 1
+            image = image_by_name(name)
+            if image.name not in self.policy.offered_images:
+                raise ImageUnavailable(f"operator does not offer {image.name}")
+            self._image_cache[name] = image
         if len(self._by_invocation) >= self.policy.max_containers:
             raise BentoError("container limit reached")
 
@@ -430,10 +456,21 @@ class BentoServer:
                        span=None) -> None:
         instance = self._instance_for_invocation(message.get("token", ""))
         instance.note_peer(framed)
-        manifest = FunctionManifest.from_wire(message["manifest"])
-        reason = self.policy.rejection_reason(manifest)
-        if reason is not None:
-            raise ManifestRejected(reason)
+        # Accepted manifests are cached by their canonical wire bytes:
+        # a hit skips both the parse and the policy verdict (manifests
+        # are frozen, so the object is shared safely across instances).
+        # Rejections are never cached — they must re-raise fresh.
+        manifest_key = canonical_encode(message["manifest"])
+        manifest = self._manifest_cache.get(manifest_key)
+        if manifest is not None:
+            _HIT_POLICY.value += 1
+        else:
+            _MISS_POLICY.value += 1
+            manifest = FunctionManifest.from_wire(message["manifest"])
+            reason = self.policy.rejection_reason(manifest)
+            if reason is not None:
+                raise ManifestRejected(reason)
+            self._manifest_cache[manifest_key] = manifest
         if manifest.image != instance.image.name:
             raise ManifestRejected(
                 f"manifest image {manifest.image!r} does not match container "
@@ -507,6 +544,10 @@ class BentoServer:
         network."""
         for instance in list(self._by_invocation.values()):
             instance.kill("box crashed", graceful=False)
+        # A restarted box has lost all state; nothing cached may survive
+        # into its next life.
+        self._image_cache.clear()
+        self._manifest_cache.clear()
 
     # -- introspection ----------------------------------------------------------------
 

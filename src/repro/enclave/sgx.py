@@ -53,10 +53,18 @@ class EnclaveImage:
 
     @property
     def measurement(self) -> str:
-        """MRENCLAVE: the hash of the initial enclave contents."""
-        material = (self.name.encode() + b"\x00"
-                    + self.version.to_bytes(4, "big") + self.code)
-        return hashlib.sha256(material).hexdigest()
+        """MRENCLAVE: the hash of the initial enclave contents.
+
+        Memoized: the image is frozen, and this is read on every quote
+        and conclave launch.
+        """
+        cached = self.__dict__.get("_measurement")
+        if cached is None:
+            material = (self.name.encode() + b"\x00"
+                        + self.version.to_bytes(4, "big") + self.code)
+            cached = hashlib.sha256(material).hexdigest()
+            object.__setattr__(self, "_measurement", cached)
+        return cached
 
 
 class EnclaveHost:

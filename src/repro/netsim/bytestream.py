@@ -22,6 +22,11 @@ from typing import Optional, Protocol
 from repro.netsim.connection import Connection, ConnectionClosed
 from repro.netsim.node import Node
 from repro.netsim.simulator import Future, SimThread
+from repro.obs.metrics import REGISTRY as _metrics
+from repro.perf.counters import counters as _perf
+
+# Cached registry handle (the registry resets in place, so this survives).
+_BYTES_ZERO_COPIED = _metrics.counter("bytes_zero_copied")
 
 
 class ByteStream(Protocol):
@@ -52,7 +57,13 @@ class StreamClosed(ConnectionClosed):
 
 
 class _RecvQueue:
-    """Shared receive-side machinery: a queue of byte chunks + EOF flag."""
+    """Shared receive-side machinery: a queue of byte chunks + EOF flag.
+
+    Large reads (``min_bytes > 1``) accumulate into a single persistent
+    :class:`bytearray` as chunks arrive, instead of re-joining the whole
+    deque once at the end — a read interrupted by a timeout keeps its
+    partial bytes buffered, and each chunk is copied exactly once.
+    """
 
     def __init__(self, sim) -> None:
         self._sim = sim
@@ -61,6 +72,7 @@ class _RecvQueue:
         self._target = 1
         self._eof = False
         self._waiter: Optional[Future] = None
+        self._pending = bytearray()   # partially accumulated large read
 
     def push(self, data: bytes) -> None:
         """Queue received bytes for the reader."""
@@ -85,24 +97,43 @@ class _RecvQueue:
         With the default ``min_bytes=1`` this returns exactly one queued
         chunk (preserving message boundaries for legacy callers).  With a
         larger hint, the reader only wakes once enough bytes are buffered
-        and all buffered chunks are returned joined — on a multi-megabyte
+        and receives them as one bytes-like object — on a multi-megabyte
         transfer that removes one sim-thread wake-up per network chunk.
         """
         if min_bytes > 1:
-            self._target = min_bytes
-            while self._size < min_bytes and not self._eof:
+            chunks = self._chunks
+            pending = self._pending
+            if not pending and len(chunks) == 1 and self._size >= min_bytes:
+                # A single buffered chunk satisfies the read: hand it over
+                # by reference instead of round-tripping it through the
+                # accumulation buffer.
+                self._size = 0
+                data = chunks.popleft()
+                _perf.bytes_zero_copied += len(data)
+                _BYTES_ZERO_COPIED.value += len(data)
+                return data
+            while True:
+                while chunks:
+                    pending += chunks.popleft()
+                self._size = 0
+                if len(pending) >= min_bytes or self._eof:
+                    break
+                self._target = min_bytes - len(pending)
                 self._waiter = Future(self._sim)
+                # A timeout propagates from here with the accumulated
+                # bytes safely parked in self._pending for the next read.
                 thread.wait(self._waiter, timeout=timeout)
                 self._waiter = None
             self._target = 1
-            if not self._chunks:
+            if not pending:
                 return b""  # EOF
-            if len(self._chunks) == 1:
-                data = self._chunks.popleft()
-            else:
-                data = b"".join(self._chunks)
-                self._chunks.clear()
-            self._size = 0
+            self._pending = bytearray()
+            return pending
+        if self._pending:
+            # A timed-out large read left coalesced bytes behind; serve
+            # them first (their original chunk boundaries are gone).
+            data = self._pending
+            self._pending = bytearray()
             return data
         while not self._chunks and not self._eof:
             self._waiter = Future(self._sim)
@@ -127,7 +158,12 @@ class DirectByteStream:
         endpoint.on_close = lambda _conn: self._recv.push_eof()
 
     def _on_message(self, _conn: Connection, payload: object, _size: int) -> None:
-        if isinstance(payload, (bytes, bytearray)):
+        if isinstance(payload, bytes):
+            # Immutable payloads queue by reference — no per-hop copy.
+            self._recv.push(payload)
+            _perf.bytes_zero_copied += len(payload)
+            _BYTES_ZERO_COPIED.value += len(payload)
+        elif isinstance(payload, (bytearray, memoryview)):
             self._recv.push(bytes(payload))
 
     def send(self, data: bytes) -> None:
@@ -135,7 +171,8 @@ class DirectByteStream:
         if self.conn.closed:
             raise StreamClosed("send on closed stream")
         if data:
-            self.conn.send(self.local, bytes(data))
+            self.conn.send(self.local,
+                           data if isinstance(data, bytes) else bytes(data))
 
     def recv(self, thread: SimThread, timeout: Optional[float] = None,
              min_bytes: int = 1) -> bytes:
@@ -174,18 +211,42 @@ class Framer:
 
     def feed(self, data: bytes) -> list[bytes]:
         """Add received bytes; return all frames completed by them."""
+        header_size = self._HEADER.size
+        if not self._buffer:
+            # Fast path: slice complete frames straight out of ``data``
+            # through a memoryview; only a trailing partial frame is
+            # copied into the reassembly buffer.
+            view = memoryview(data)
+            total = len(view)
+            frames: list[bytes] = []
+            offset = 0
+            while total - offset >= header_size:
+                (length,) = self._HEADER.unpack_from(view, offset)
+                if length > self.MAX_FRAME:
+                    raise ValueError("incoming frame exceeds maximum size")
+                end = offset + header_size + length
+                if end > total:
+                    break
+                frames.append(bytes(view[offset + header_size:end]))
+                offset = end
+            if offset < total:
+                self._buffer.extend(view[offset:])
+            if offset:
+                _perf.bytes_zero_copied += offset
+                _BYTES_ZERO_COPIED.value += offset
+            return frames
         self._buffer.extend(data)
-        frames: list[bytes] = []
+        frames = []
         while True:
-            if len(self._buffer) < self._HEADER.size:
+            if len(self._buffer) < header_size:
                 break
             (length,) = self._HEADER.unpack_from(self._buffer, 0)
             if length > self.MAX_FRAME:
                 raise ValueError("incoming frame exceeds maximum size")
-            end = self._HEADER.size + length
+            end = header_size + length
             if len(self._buffer) < end:
                 break
-            frames.append(bytes(self._buffer[self._HEADER.size:end]))
+            frames.append(bytes(self._buffer[header_size:end]))
             del self._buffer[:end]
         return frames
 

@@ -18,6 +18,14 @@ runs those comparisons used to dominate the profile.  Cancellation stays
 lazy, but :meth:`Simulator.run` compacts the heap whenever cancelled
 entries outnumber live ones (timeout-heavy workloads otherwise accumulate
 far-future garbage without bound).
+
+Timeouts use a *timer slot* per sim-thread: a thread has at most one
+outstanding :meth:`SimThread.wait`, so its timeout owns a single reusable
+heap entry.  When the awaited future wins the race the slot is disarmed
+(a cancelled tombstone that a later wait resurrects in place) instead of
+abandoning one tombstone per wait — a recv loop that used to leave
+thousands of far-future entries for ``_compact`` to mop up now keeps the
+heap at one entry per thread.
 """
 
 from __future__ import annotations
@@ -26,15 +34,24 @@ import heapq
 import threading
 from typing import Any, Callable, Optional
 
+from repro.obs.metrics import REGISTRY as _metrics
 from repro.perf.counters import counters as _perf
 from repro.perf.profiling import active_profile
 from repro.util.errors import ReproError
 from repro.util.rng import DeterministicRandom
 
+# Cached registry handle (the registry resets in place, so this survives).
+_TIMERS_CANCELLED = _metrics.counter("timers_cancelled")
+
 # Compact the heap when it holds this many cancelled events and they
 # outnumber the live ones.  Small enough to bound garbage, large enough
 # that compaction cost is amortized over thousands of pops.
 _COMPACT_MIN_CANCELLED = 64
+
+
+def _discarded() -> None:  # pragma: no cover - never invoked
+    """Sentinel ``fn`` stamped on cancelled events once they leave the heap,
+    so a timer slot knows its tombstone can no longer be resurrected."""
 
 
 class SimulationError(ReproError):
@@ -140,6 +157,11 @@ class SimThread:
         self._yielded = threading.Lock()
         self._yielded.acquire()
         self._done_future = Future(sim)
+        # Reusable timeout slot: at most one wait() is outstanding per
+        # thread, so one heap entry serves every timeout this thread arms.
+        self._timer_event: Optional[Event] = None
+        self._timer_deadline: Optional[float] = None
+        self._timer_on_fire: Optional[Callable[[], None]] = None
         self._thread = threading.Thread(
             target=self._run, name=f"sim:{name}", daemon=True
         )
@@ -177,6 +199,56 @@ class SimThread:
         self._yielded.release()
         self._go.acquire()
 
+    # -- timer slot -------------------------------------------------------
+
+    def _arm_timer(self, deadline: float, on_fire: Callable[[], None]) -> None:
+        """Point this thread's timer slot at ``deadline``.
+
+        Reuses the pending heap entry when possible: a disarmed tombstone
+        at or before the new deadline is resurrected in place (the fire
+        callback cascades forward to the true deadline when it pops
+        early), so timeout-heavy loops do not grow the heap at all.
+        """
+        self._timer_deadline = deadline
+        self._timer_on_fire = on_fire
+        event = self._timer_event
+        if event is not None and event.fn is _discarded:
+            event = self._timer_event = None    # left the heap while disarmed
+        if event is None:
+            self._timer_event = self.sim.schedule_at(deadline, self._timer_fire)
+        elif event.time <= deadline:
+            if event.cancelled:                 # resurrect the tombstone
+                event.cancelled = False
+                self.sim._cancelled -= 1
+        else:                                   # pending entry is too late
+            event.cancel()
+            self._timer_event = self.sim.schedule_at(deadline, self._timer_fire)
+
+    def _disarm_timer(self) -> None:
+        """The awaited future won the race: tombstone the slot entry."""
+        self._timer_deadline = None
+        self._timer_on_fire = None
+        event = self._timer_event
+        if event is not None and not event.cancelled:
+            event.cancel()
+            _perf.timers_cancelled += 1
+            _TIMERS_CANCELLED.value += 1
+
+    def _timer_fire(self) -> None:
+        """Slot entry popped: fire the timeout, or cascade to the deadline."""
+        self._timer_event = None
+        deadline = self._timer_deadline
+        if deadline is None:
+            return
+        if deadline > self.sim.now:             # re-armed further out
+            self._timer_event = self.sim.schedule_at(deadline, self._timer_fire)
+            return
+        on_fire = self._timer_on_fire
+        self._timer_deadline = None
+        self._timer_on_fire = None
+        if on_fire is not None:
+            on_fire()
+
     def wait(self, future: Future, timeout: Optional[float] = None) -> Any:
         """Suspend until ``future`` resolves; returns its value.
 
@@ -186,7 +258,6 @@ class SimThread:
         if threading.current_thread() is not self._thread:
             raise SimulationError("wait() called from outside this sim-thread")
         timed_out = False
-        timeout_event: Optional[Event] = None
 
         def _wake(_arg: Any) -> None:
             self.sim._wake_thread(self)
@@ -197,12 +268,12 @@ class SimThread:
             self.sim._wake_thread(self)
 
         if timeout is not None:
-            timeout_event = self.sim.schedule(timeout, _on_timeout)
+            self._arm_timer(self.sim.now + timeout, _on_timeout)
         future.add_done_callback(_wake)
         while not future.done and not timed_out:
             self._block()
-        if timeout_event is not None:
-            timeout_event.cancel()
+        if timeout is not None and not timed_out:
+            self._disarm_timer()
         if not future.done:
             raise SimTimeoutError(f"wait timed out after {timeout}s")
         return future.result()
@@ -301,6 +372,7 @@ class Simulator:
                 time, _seq, event = heap[0]
                 if event.cancelled:
                     pop(heap)
+                    event.fn = _discarded
                     self._cancelled -= 1
                     continue
                 if until is not None and time > until:
@@ -333,7 +405,13 @@ class Simulator:
         ``(time, seq)`` key, so any valid heap over the live entries
         yields the same sequence.
         """
-        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
+        live = []
+        for entry in self._heap:
+            if entry[2].cancelled:
+                entry[2].fn = _discarded
+            else:
+                live.append(entry)
+        self._heap = live
         heapq.heapify(self._heap)
         self._cancelled = 0
         _perf.heap_compactions += 1

@@ -16,6 +16,8 @@ _FIELDS = (
     "chunks_coalesced",    # chunks folded into bulk transfers
     "bulk_grants",         # coalesced transfers started
     "bulk_preemptions",    # coalesced transfers demoted to chunked
+    "timers_cancelled",    # wait() timeouts disarmed because the future won
+    "bytes_zero_copied",   # payload bytes moved as views instead of copies
     "hash_calls",          # SHA-256 invocations in StreamCipher keystreams
     "keystream_bytes",     # keystream bytes consumed
     "cells_crypted",       # relay-cell layer applications (any direction)

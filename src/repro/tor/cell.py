@@ -123,18 +123,33 @@ class RelayCellPayload:
                 f"stream_id={self.stream_id!r}, data={self.data!r}, "
                 f"digest={self.digest!r})")
 
-    def pack(self, digest: bytes = b"\x00\x00\x00\x00") -> bytes:
-        """Serialize to exactly 509 bytes with the given digest field."""
-        if len(self.data) > RELAY_DATA_SIZE:
+    def pack_buf(self, digest: bytes = b"\x00\x00\x00\x00") -> bytearray:
+        """Serialize into a fresh 509-byte :class:`bytearray`.
+
+        One allocation and one copy of ``data`` (which may be any
+        bytes-like object, including a :class:`memoryview`), instead of
+        the concatenate-then-pad double copy.  Callers that need the
+        digest spliced in afterwards (see
+        :meth:`~repro.tor.layercrypto.HopCrypto.seal_payload`) mutate the
+        returned buffer in place.
+        """
+        size = len(self.data)
+        if size > RELAY_DATA_SIZE:
             raise ProtocolError(
-                f"relay data {len(self.data)} exceeds {RELAY_DATA_SIZE}"
+                f"relay data {size} exceeds {RELAY_DATA_SIZE}"
             )
         if len(digest) != 4:
             raise ProtocolError("relay digest must be 4 bytes")
-        header = _RELAY_HEADER.pack(
-            0, self.stream_id, digest, len(self.data), int(self.command)
+        buf = bytearray(RELAY_PAYLOAD_SIZE)
+        _RELAY_HEADER.pack_into(
+            buf, 0, 0, self.stream_id, digest, size, int(self.command)
         )
-        return (header + self.data).ljust(RELAY_PAYLOAD_SIZE, b"\x00")
+        buf[RELAY_HEADER_SIZE:RELAY_HEADER_SIZE + size] = self.data
+        return buf
+
+    def pack(self, digest: bytes = b"\x00\x00\x00\x00") -> bytes:
+        """Serialize to exactly 509 bytes with the given digest field."""
+        return bytes(self.pack_buf(digest))
 
     @classmethod
     def unpack(cls, payload: bytes) -> "RelayCellPayload":

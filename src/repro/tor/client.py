@@ -22,7 +22,7 @@ from repro.tor import ntor
 from repro.tor.cell import RelayCommand
 from repro.tor.circuit import HS_CLIENT, Circuit, CircuitDestroyed
 from repro.tor.descriptor import RelayDescriptor
-from repro.tor.directory import DirectoryAuthority
+from repro.tor.directory import Consensus, DirectoryAuthority
 from repro.tor.layercrypto import HopCrypto
 from repro.tor.path import PathSelector
 from repro.tor.stream import TorStream
@@ -41,6 +41,10 @@ _HIST_CIRCUIT_BUILD = _metrics.histogram("circuit_build_s")
 _HIST_HS_RENDEZVOUS = _metrics.histogram("hs_rendezvous_s")
 _CTR_BUILD_OK = _metrics.counter("circuit_builds", {"outcome": "ok"})
 _CTR_BUILD_FAIL = _metrics.counter("circuit_builds", {"outcome": "error"})
+_HIT_CONSENSUS = _metrics.counter("cache_hits", {"layer": "consensus"})
+_MISS_CONSENSUS = _metrics.counter("cache_misses", {"layer": "consensus"})
+_HIT_DESCRIPTOR = _metrics.counter("cache_hits", {"layer": "descriptor"})
+_MISS_DESCRIPTOR = _metrics.counter("cache_misses", {"layer": "descriptor"})
 
 
 class TorClient:
@@ -73,14 +77,33 @@ class TorClient:
         self.circuits: list[Circuit] = []
         # Relays implicated in recent build failures: fp -> sim time noted.
         self.failed_relays: dict[str, float] = {}
+        # The last consensus object this client verified.  The authority
+        # returns the same object until membership changes (a new epoch
+        # produces a new object), so identity is the invalidation key.
+        self._consensus_verified: Optional[Consensus] = None
+        # onion address -> the descriptor object we last verified.  A
+        # republished descriptor (service restart, version bump) is a new
+        # object and re-verifies automatically.
+        self._hs_desc_cache: dict[str, object] = {}
 
     # -- directory ---------------------------------------------------------
 
     def consensus(self):
-        """Fetch and verify the current consensus."""
+        """Fetch and verify the current consensus.
+
+        The signature check runs once per consensus *object*: relay churn
+        makes the authority mint (and sign) a fresh consensus, which this
+        client then re-verifies; between churn events every fetch is a
+        cache hit.
+        """
         consensus = self.directory.consensus(self.sim.now)
+        if consensus is self._consensus_verified:
+            _HIT_CONSENSUS.value += 1
+            return consensus
+        _MISS_CONSENSUS.value += 1
         if not consensus.verify(self.directory.public_key):
             raise TorError("consensus signature invalid")
+        self._consensus_verified = consensus
         return consensus
 
     def path_selector(self) -> PathSelector:
@@ -315,8 +338,14 @@ class TorClient:
                                    timeout: float = 240.0,
                                    intro_extra=None) -> Circuit:
         descriptor = self.directory.fetch_hs_descriptor(onion_address)
-        if not descriptor.verify():
-            raise TorError(f"bad hidden-service descriptor for {onion_address}")
+        if self._hs_desc_cache.get(onion_address) is descriptor:
+            _HIT_DESCRIPTOR.value += 1
+        else:
+            _MISS_DESCRIPTOR.value += 1
+            if not descriptor.verify():
+                raise TorError(
+                    f"bad hidden-service descriptor for {onion_address}")
+            self._hs_desc_cache[onion_address] = descriptor
         consensus = self.consensus()
         selector = self.path_selector()
 

@@ -8,10 +8,11 @@ paper does not measure while keeping all trust checks real.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.crypto.rsa import RsaKeyPair, RsaPublicKey
+from repro.obs.metrics import REGISTRY as _metrics
 from repro.tor.descriptor import (
     FLAG_EXIT,
     HiddenServiceDescriptor,
@@ -21,6 +22,10 @@ from repro.util.errors import ProtocolError, ReproError
 from repro.util.rng import DeterministicRandom
 from repro.util.serialization import canonical_encode
 
+# Cached registry handles (the registry resets in place, so these survive).
+_HIT_DESCRIPTOR = _metrics.counter("cache_hits", {"layer": "descriptor"})
+_MISS_DESCRIPTOR = _metrics.counter("cache_misses", {"layer": "descriptor"})
+
 
 class DirectoryError(ReproError):
     """Raised for rejected registrations or missing entries."""
@@ -28,22 +33,51 @@ class DirectoryError(ReproError):
 
 @dataclass
 class Consensus:
-    """A signed snapshot of the relay population."""
+    """A signed snapshot of the relay population.
+
+    A consensus is immutable once signed, so derived views — the signed
+    body, signature verdicts, the fingerprint index, parsed exit policies
+    — are computed once and memoized on the instance.  ``epoch`` is the
+    authority's membership generation: any register/unregister produces
+    a new consensus object with a higher epoch, so holders can key their
+    own caches on it and never serve pre-churn state.
+    """
 
     routers: list[RelayDescriptor]
     valid_after: float
     signature: bytes = b""
     authority_key: Optional[RsaPublicKey] = None
+    epoch: int = 0
+    # Per-instance memos; excluded from equality/repr.
+    _body_cache: Optional[bytes] = field(
+        default=None, repr=False, compare=False)
+    _verify_cache: Optional[tuple] = field(
+        default=None, repr=False, compare=False)
+    _fp_index: Optional[dict] = field(default=None, repr=False, compare=False)
+    _exit_policies: Optional[list] = field(
+        default=None, repr=False, compare=False)
+    _exit_cache: Optional[dict] = field(default=None, repr=False, compare=False)
 
     def _signed_body(self) -> bytes:
-        return canonical_encode({
-            "valid_after": self.valid_after,
-            "routers": [r.to_wire() for r in self.routers],
-        })
+        if self._body_cache is None:
+            self._body_cache = canonical_encode({
+                "valid_after": self.valid_after,
+                "routers": [r.to_wire() for r in self.routers],
+            })
+        return self._body_cache
 
     def verify(self, authority_key: RsaPublicKey) -> bool:
-        """Check the authority's signature over the router list."""
-        return authority_key.verify(self._signed_body(), self.signature)
+        """Check the authority's signature over the router list.
+
+        Memoized per verifying key: the body serialization and modular
+        exponentiation run once, every later call is a comparison.
+        """
+        cached = self._verify_cache
+        if cached is not None and cached[0] == authority_key:
+            return cached[1]
+        ok = authority_key.verify(self._signed_body(), self.signature)
+        self._verify_cache = (authority_key, ok)
+        return ok
 
     def relays_with_flag(self, flag: str) -> list[RelayDescriptor]:
         """All routers carrying a flag."""
@@ -53,21 +87,38 @@ class Consensus:
         """Relays whose exit policy admits ``address:port``."""
         from repro.tor.exitpolicy import ExitPolicy
 
-        matching = []
-        for router in self.routers:
-            if not router.has_flag(FLAG_EXIT):
-                continue
-            policy = ExitPolicy.parse(router.exit_policy_text)
-            if policy.allows(address, port):
-                matching.append(router)
-        return matching
+        cache = self._exit_cache
+        if cache is None:
+            cache = self._exit_cache = {}
+        cached = cache.get((address, port))
+        if cached is not None:
+            _HIT_DESCRIPTOR.value += 1
+            return list(cached)
+        _MISS_DESCRIPTOR.value += 1
+        if self._exit_policies is None:
+            self._exit_policies = [
+                (router, ExitPolicy.parse(router.exit_policy_text))
+                for router in self.routers if router.has_flag(FLAG_EXIT)
+            ]
+        matching = [router for router, policy in self._exit_policies
+                    if policy.allows(address, port)]
+        cache[(address, port)] = matching
+        return list(matching)
 
     def find(self, identity_fp: str) -> RelayDescriptor:
-        """Look a router up by fingerprint."""
-        for router in self.routers:
-            if router.identity_fp == identity_fp:
-                return router
-        raise DirectoryError(f"no relay with fingerprint {identity_fp}")
+        """Look a router up by fingerprint (indexed after the first call)."""
+        index = self._fp_index
+        if index is None:
+            index = self._fp_index = {
+                router.identity_fp: router for router in self.routers}
+            _MISS_DESCRIPTOR.value += 1
+        else:
+            _HIT_DESCRIPTOR.value += 1
+        try:
+            return index[identity_fp]
+        except KeyError:
+            raise DirectoryError(
+                f"no relay with fingerprint {identity_fp}") from None
 
 
 class DirectoryAuthority:
@@ -78,6 +129,9 @@ class DirectoryAuthority:
         self._relays: dict[str, RelayDescriptor] = {}
         self._hs_descriptors: dict[str, HiddenServiceDescriptor] = {}
         self._consensus_cache: Optional[Consensus] = None
+        # Membership generation: bumped on every register/unregister and
+        # stamped into each consensus so downstream caches can key on it.
+        self._epoch = 0
 
     @property
     def public_key(self) -> RsaPublicKey:
@@ -94,17 +148,20 @@ class DirectoryAuthority:
             )
         self._relays[descriptor.identity_fp] = descriptor
         self._consensus_cache = None
+        self._epoch += 1
 
     def unregister_relay(self, identity_fp: str) -> None:
         """Drop a relay from future consensuses."""
         self._relays.pop(identity_fp, None)
         self._consensus_cache = None
+        self._epoch += 1
 
     def consensus(self, now: float = 0.0) -> Consensus:
         """The current signed consensus (cached until membership changes)."""
         if self._consensus_cache is None:
             routers = sorted(self._relays.values(), key=lambda r: r.nickname)
-            consensus = Consensus(routers=routers, valid_after=now)
+            consensus = Consensus(
+                routers=routers, valid_after=now, epoch=self._epoch)
             consensus.signature = self._keypair.sign(consensus._signed_body())
             consensus.authority_key = self._keypair.public
             self._consensus_cache = consensus

@@ -152,22 +152,24 @@ class HopCrypto:
     # -- digests ---------------------------------------------------------
 
     def _digest(self, direction: str, seq: int, payload_zero_digest: bytes) -> bytes:
-        material = (
-            self._digest_keys[direction]
-            + seq.to_bytes(8, "big")
-            + payload_zero_digest
-        )
-        return hashlib.sha256(material).digest()[:4]
+        # Streaming updates instead of one concatenated material buffer:
+        # same digest, no 500-byte temporary, and bytearray inputs work.
+        digest = hashlib.sha256(self._digest_keys[direction])
+        digest.update(seq.to_bytes(8, "big"))
+        digest.update(payload_zero_digest)
+        return digest.digest()[:4]
 
     def seal_payload(self, cell: RelayCellPayload, direction: str) -> bytes:
         """Pack a relay payload with the next send digest for ``direction``."""
         seq = self._send_seq[direction]
         self._send_seq[direction] = seq + 1
-        zero = cell.pack()
-        digest = self._digest(direction, seq, zero)
-        # Digest occupies bytes 4..8 of the packed payload; splice it in
-        # instead of re-packing the whole cell.
-        return zero[:4] + digest + zero[8:]
+        buf = cell.pack_buf()
+        digest = self._digest(direction, seq, buf)
+        # Digest occupies bytes 4..8 of the packed payload; splice it into
+        # the pack buffer in place instead of re-packing (or slicing and
+        # re-concatenating) the whole cell.
+        buf[4:8] = digest
+        return bytes(buf)
 
     def open_payload(self, payload: bytes, direction: str) -> RelayCellPayload | None:
         """Recognition check: parse + verify digest, consuming one recv seq.
@@ -183,8 +185,10 @@ class HopCrypto:
             parsed = RelayCellPayload.unpack(payload)
         except ProtocolError:
             return None
-        # Zero the digest field (bytes 4..8) for the digest computation.
-        zeroed = payload[:4] + b"\x00\x00\x00\x00" + payload[8:]
+        # Zero the digest field (bytes 4..8) for the digest computation —
+        # one copy plus an in-place splice, not two slices and a concat.
+        zeroed = bytearray(payload)
+        zeroed[4:8] = b"\x00\x00\x00\x00"
         seq = self._recv_seq[FORWARD if direction == FORWARD else BACKWARD]
         expected = self._digest(direction, seq, zeroed)
         if expected != parsed.digest:

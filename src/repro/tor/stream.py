@@ -57,7 +57,8 @@ class TorStream:
         if self.closed:
             raise StreamClosed("send on closed Tor stream")
         if data:
-            self.circuit.send_stream_data(self.stream_id, bytes(data))
+            self.circuit.send_stream_data(
+                self.stream_id, data if isinstance(data, bytes) else bytes(data))
 
     def recv(self, thread: SimThread, timeout: Optional[float] = None,
              min_bytes: int = 1) -> bytes:

@@ -1,11 +1,16 @@
 """The chaos-soak acceptance scenario: end-to-end recovery under faults,
-and bit-for-bit determinism of the whole run."""
+and bit-for-bit determinism of the whole run — plus cache coherence of
+the scale plane's control-plane caches across crash/restart."""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.chaos import check_soak, run_chaos_soak
+from repro.core import BentoClient, BentoServer, FunctionManifest
+from repro.enclave.attestation import IntelAttestationService
+from repro.netsim.faults import FaultPlane
+from repro.tor import TorTestNetwork
 
 
 @pytest.fixture(scope="module")
@@ -59,3 +64,80 @@ class TestChaosSoak:
                "counters": {"replicas_respawned": 0}}
         problems = check_soak(bad)
         assert len(problems) == 4
+
+
+CODE = "def noop():\n    return 'ok'\n"
+
+
+class TestCacheInvalidationUnderChaos:
+    """Crashing a box or churning the directory mid-run must never let a
+    stale cache entry (image/manifest verdict, verified consensus) leak
+    into the post-restart world."""
+
+    def _run_session(self, thread, client, box_descriptor, manifest):
+        session = client.connect(thread, box_descriptor)
+        session.request_image(thread, "python", verify="none")
+        session.load_function(thread, CODE, manifest)
+        assert session.invoke(thread, []) == "ok"
+        session.shutdown(thread)
+        session.close()
+
+    def test_box_crash_clears_server_caches(self):
+        net = TorTestNetwork(n_relays=6, seed="cache-chaos",
+                             fast_crypto=True, bento_fraction=0.34)
+        ias = IntelAttestationService(net.sim.rng.fork("ias"))
+        box = net.bento_boxes()[0]
+        server = BentoServer(box, net.authority, ias=ias)
+        faults = FaultPlane(net.network)
+        client = BentoClient(net.create_client("user"), ias=ias)
+        manifest = FunctionManifest.create("noop", "noop", set())
+
+        def first_sessions(thread):
+            descriptor = client.discover_boxes()[0]
+            self._run_session(thread, client, descriptor, manifest)
+            self._run_session(thread, client, descriptor, manifest)
+
+        net.sim.run_until_done(net.sim.spawn(first_sessions))
+        # Two identical sessions primed both server caches.
+        assert server._image_cache and server._manifest_cache
+
+        faults.crash_node(box.node.name)
+        # Fate-sharing: a crashed box keeps nothing, caches included.
+        assert not server._image_cache and not server._manifest_cache
+
+        faults.restart_node(box.node.name)
+
+        def after_restart(thread):
+            descriptor = client.discover_boxes()[0]
+            self._run_session(thread, client, descriptor, manifest)
+
+        net.sim.run_until_done(net.sim.spawn(after_restart))
+        # The restarted box rebuilt its verdicts from scratch.
+        assert "python" in server._image_cache
+        assert len(server._manifest_cache) == 1
+
+    def test_directory_churn_mid_run_invalidates_client_consensus(self):
+        net = TorTestNetwork(n_relays=6, seed="cache-churn",
+                             fast_crypto=True, bento_fraction=0.34)
+        ias = IntelAttestationService(net.sim.rng.fork("ias"))
+        box = net.bento_boxes()[0]
+        BentoServer(box, net.authority, ias=ias)
+        client = BentoClient(net.create_client("user"), ias=ias)
+        manifest = FunctionManifest.create("noop", "noop", set())
+
+        def flow(thread):
+            descriptor = client.discover_boxes()[0]
+            self._run_session(thread, client, descriptor, manifest)
+            before = client.tor.consensus()
+            # Mid-run churn: a (non-Bento) relay drops out of the
+            # directory, as after an unrecovered crash.
+            gone = net.relays[0].fingerprint
+            net.authority.unregister_relay(gone)
+            after = client.tor.consensus()
+            assert after is not before
+            assert all(r.identity_fp != gone for r in after.routers)
+            # Sessions keep working against the post-churn consensus.
+            descriptor = client.discover_boxes()[0]
+            self._run_session(thread, client, descriptor, manifest)
+
+        net.sim.run_until_done(net.sim.spawn(flow))
