@@ -37,6 +37,11 @@ VOLUME_COUNTERS = (
 
 SECTIONS = ("macro_fast", "macro_real", "fanin")
 
+#: The hot-path benchmark never enables a serving plane, so any nonzero
+#: qos counter means plane code leaked into the per-byte transfer path.
+QOS_COUNTERS = ("qos_admitted", "qos_rejected", "qos_shed",
+                "qos_throttles")
+
 
 def check(reference: dict, current: dict, tolerance: float) -> list[str]:
     """Return a list of human-readable regression descriptions."""
@@ -61,6 +66,12 @@ def check(reference: dict, current: dict, tolerance: float) -> list[str]:
         if cur["counters"].get("heap_compactions", 0) != 0:
             problems.append(f"{section}: heap_compactions != 0 — timer "
                             f"slots are leaking tombstones again")
+        for name in QOS_COUNTERS:
+            if cur["counters"].get(name, 0) != 0:
+                problems.append(
+                    f"{section}: {name} = {cur['counters'][name]} — the "
+                    f"serving plane ran with qos disabled; it must stay "
+                    f"out of the hot path")
     fast, real = current.get("macro_fast"), current.get("macro_real")
     if fast and real:
         if (fast["elapsed"], fast["sim_now"]) != \

@@ -177,9 +177,50 @@ def _scenario_scale_report(seed: int) -> None:
               f"{stats['rate'] * 100:.1f}%")
 
 
+def _scenario_qos_report(seed: int) -> None:
+    """Run one in-process 4x-overload cell from the qos benchmark, plane
+    off then on, and print the goodput/latency/shedding contrast.
+
+    The full subprocess sweep (0.5x-4x offered load, with peak-RSS
+    attribution per cell) lives in ``benchmarks/bench_qos.py``; this
+    scenario is the quick look.
+    """
+    import importlib.util
+    from pathlib import Path
+
+    bench_path = (Path(__file__).resolve().parent.parent.parent
+                  / "benchmarks" / "bench_qos.py")
+    if not bench_path.exists():
+        print("benchmarks/bench_qos.py not found (installed package?); "
+              "run from a source checkout")
+        raise SystemExit(1)
+    spec = importlib.util.spec_from_file_location("bench_qos", bench_path)
+    bench = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(bench)
+
+    print(f"qos report (seed={seed}): one starved box at 4x offered load, "
+          f"{bench.DEADLINE_S:.0f}s session deadline")
+    for mode in ("off", "on"):
+        result = bench.run_overload(mode, 4.0, seed, duration=10.0)
+        print(f"  plane {mode}:")
+        print(f"    goodput:   {result['goodput_per_s']:.2f}/s "
+              f"({result['goodput_vs_attainable'] * 100:.1f}% of "
+              f"attainable, capacity {result['capacity_per_s']:.2f}/s)")
+        print(f"    sessions:  {result['good']} good / "
+              f"{result['completed']} completed / "
+              f"{result['n_sessions']} offered "
+              f"(gave up: {result['gave_up']})")
+        print(f"    latency:   p50 {result['p50_s']:.2f}s  "
+              f"p99 {result['p99_s']:.2f}s")
+        print(f"    plane:     admitted={result['qos_admitted']} "
+              f"rejected={result['qos_rejected']} "
+              f"shed={result['qos_shed']}")
+
+
 SCENARIOS = {
     "quickstart": _scenario_quickstart,
     "scale-report": _scenario_scale_report,
+    "qos-report": _scenario_qos_report,
     "fingerprint": _scenario_fingerprint,
     "perf-report": _scenario_perf_report,
     "chaos-soak": _scenario_chaos_soak,

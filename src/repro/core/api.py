@@ -36,6 +36,11 @@ class ApiError(BentoError):
     """Misuse of the function API (bad arguments, unknown handle, ...)."""
 
 
+#: Nominal cpu milliseconds metered per gated API call when the serving
+#: plane is on; the weighted-fair cpu queue paces flows by this currency.
+_QOS_CALL_COST_MS = 1.0
+
+
 class FunctionKilled(ReproError):
     """The sandbox or the owner terminated this function."""
 
@@ -56,14 +61,14 @@ class SandboxedStream:
     def send(self, data: bytes) -> None:
         """Send bytes to the peer."""
         self._api._gate(self._gate_name)
-        self._api._instance.container.charge_network(len(data))
+        self._api._charge_network(len(data))
         self._stream.send(data)
 
     def recv(self, timeout: Optional[float] = None) -> bytes:
         """Block until the next chunk arrives; b'' at EOF."""
         self._api._gate(self._gate_name)
         data = self._stream.recv(self._api._thread, timeout=timeout)
-        self._api._instance.container.charge_network(len(data))
+        self._api._charge_network(len(data))
         return data
 
     def close(self) -> None:
@@ -85,7 +90,7 @@ class HttpSessionApi:
 
         response = fetch(self._api._thread, self._framed, path,
                          timeout=timeout)
-        self._api._instance.container.charge_network(len(response.body))
+        self._api._charge_network(len(response.body))
         return response
 
     def close(self) -> None:
@@ -379,6 +384,20 @@ class FunctionApi:
             cost = instance.conclave.invoke_cost()
             if cost > 0:
                 self._thread.sleep(cost)
+        plane = instance.server.qos
+        if plane is not None:
+            # Meter this call against the instance's weighted-fair cpu
+            # share; the plane sleeps out any pacing delay right here, at
+            # the gate — never on the per-byte transfer path.
+            plane.charge_cpu(self._thread, instance, _QOS_CALL_COST_MS)
+
+    def _charge_network(self, nbytes: int) -> None:
+        """Byte-account one transfer: cgroup charge plus fair-share pacing."""
+        instance = self._instance
+        instance.container.charge_network(nbytes)
+        plane = instance.server.qos
+        if plane is not None:
+            plane.charge_net(self._thread, instance, nbytes)
 
     # -- talking to the client ----------------------------------------------
 
@@ -390,7 +409,7 @@ class FunctionApi:
         peer = self._current_peer
         if peer is None:
             raise ApiError("no client attached to send to")
-        self._instance.container.charge_network(len(payload))
+        self._charge_network(len(payload))
         try:
             peer.send_frame(messages.encode_message(
                 messages.OUTPUT, payload=bytes(payload)))
@@ -443,7 +462,7 @@ class FunctionApi:
         instance.container.iptables.check(address, parsed.port)
         response = http_get(self._thread, instance.server.network,
                             instance.server.node, url, timeout=timeout)
-        instance.container.charge_network(len(response.body))
+        self._charge_network(len(response.body))
         return response
 
     def http_session(self, host: str, port: int = 443,
@@ -482,6 +501,7 @@ class FunctionApi:
                target_fingerprint: Optional[str] = None,
                exclude_fingerprints: Optional[list] = None,
                direct: bool = False,
+               prefer_slack: bool = False,
                timeout: float = 240.0) -> str:
         """Install a function on *another* Bento box; returns a handle.
 
@@ -492,6 +512,12 @@ class FunctionApi:
         onto infrastructure the function's owner already controls (the
         LoadBalancer pushing content to its own replicas, as the paper's
         EC2 deployment did).
+
+        ``prefer_slack=True`` consults the directory's serving-plane load
+        reports and places on the box advertising the most room, falling
+        back to the uniform random pick when no box has advertised yet
+        (which also keeps the RNG stream — and thus fixed-seed replays —
+        unchanged on networks without the plane).
         """
         self._gate("deploy")
         from repro.core.client import BentoClient
@@ -512,7 +538,17 @@ class FunctionApi:
                 boxes = spread
         if not boxes:
             raise ApiError("no eligible Bento box to deploy to")
-        box = boxes[0] if target_fingerprint else instance.rng.choice(boxes)
+        if target_fingerprint:
+            box = boxes[0]
+        else:
+            box = None
+            if prefer_slack:
+                load_table = instance.server.directory.load_table()
+                if load_table:
+                    from repro.qos.placement import pick_box_by_slack
+                    box = pick_box_by_slack(boxes, load_table)
+            if box is None:
+                box = instance.rng.choice(boxes)
         manifest = FunctionManifest.from_wire(manifest_wire)
         sim = instance.server.sim
         log = _obs.log

@@ -11,7 +11,12 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from repro.core import messages
-from repro.core.errors import AttestationRejected, BentoError
+from repro.core.errors import (
+    AttestationRejected,
+    BentoError,
+    PuzzleRequired,
+    ServerBusy,
+)
 from repro.core.images import image_by_name, known_measurement
 from repro.core.manifest import FunctionManifest
 from repro.core.policy import MiddleboxNodePolicy
@@ -78,6 +83,28 @@ class BentoClient:
         if not boxes:
             raise BentoError("no Bento boxes in the consensus")
         return self.rng.choice(boxes)
+
+    def pick_box_by_slack(self, exclude: tuple[str, ...] = ()) -> RelayDescriptor:
+        """The box advertising the most serving-plane slack.
+
+        Consults the directory's load-report side-table and picks
+        greedily: non-shedding boxes first, then most free admission
+        slots, then shortest queue.  Boxes that have never advertised
+        rank first (nothing known against them).  Falls back to the
+        uniform :meth:`pick_box` draw when *no* box has advertised — that
+        path consumes the same RNG draw as before, so fixed-seed runs on
+        plane-less networks replay bit-identically.
+        """
+        boxes = [b for b in self.discover_boxes()
+                 if b.identity_fp not in exclude]
+        if not boxes:
+            raise BentoError("no Bento boxes in the consensus")
+        load_table = self.tor.directory.load_table()
+        if not load_table:
+            return self.rng.choice(boxes)
+        from repro.qos.placement import pick_box_by_slack
+
+        return pick_box_by_slack(boxes, load_table)
 
     # -- connection -------------------------------------------------------------
 
@@ -152,9 +179,12 @@ class BentoClient:
 
         Retries on :data:`RETRYABLE_ERRORS` with a backoff of
         ``backoff_s * 2**attempt`` jittered by this client's deterministic
-        RNG.  If ``session`` is given, each retry first reconnects and
-        reattaches it (see :meth:`BentoSession.reconnect`); a reconnect
-        failure consumes the attempt and backs off again.
+        RNG.  A :class:`ServerBusy` refusal carrying a ``retry_after``
+        hint overrides the exponential schedule: the box quoted exactly
+        how long to stay away (scaled to its queue depth), so the client
+        sleeps that instead.  If ``session`` is given, each retry first
+        reconnects and reattaches it (see :meth:`BentoSession.reconnect`);
+        a reconnect failure consumes the attempt and backs off again.
         """
         last: Optional[BaseException] = None
         for attempt in range(attempts):
@@ -166,8 +196,11 @@ class BentoClient:
                     log.instant("core.retry", self.sim.now,
                                 track=self.tor.node.name, attempt=attempt,
                                 error=type(last).__name__ if last else "")
-                delay = min(backoff_s * (2 ** (attempt - 1)), max_backoff_s)
-                thread.sleep(delay * (0.5 + self.rng.random()))
+                if isinstance(last, ServerBusy) and last.retry_after > 0:
+                    thread.sleep(last.retry_after)
+                else:
+                    delay = min(backoff_s * (2 ** (attempt - 1)), max_backoff_s)
+                    thread.sleep(delay * (0.5 + self.rng.random()))
                 if session is not None:
                     try:
                         session.reconnect(thread)
@@ -229,10 +262,33 @@ class BentoSession:
             if message["type"] == expect:
                 return message
             if message["type"] == messages.ERROR:
-                raise BentoError(
-                    f"server error: {message.get('reason')} "
-                    f"({message.get('detail', '')})")
+                raise self._error_from(message)
             self._pending.append(message)
+
+    @staticmethod
+    def _error_from(message: dict) -> BentoError:
+        """Map an ERROR frame to the richest exception type it encodes.
+
+        Serving-plane refusals come back typed — :class:`ServerBusy`
+        keeps its ``retry_after``, :class:`PuzzleRequired` its challenge
+        — so callers (and :meth:`BentoClient.retrying`) can act on the
+        structure.  Both subclass :class:`BentoError`, so code that only
+        knows the old contract still catches them.
+        """
+        reason = message.get("reason")
+        detail = message.get("detail", "")
+        text = f"server error: {reason} ({detail})"
+        if reason == "server-busy":
+            return ServerBusy(text,
+                              retry_after=float(message.get("retry_after", 0.0)))
+        if reason == "puzzle-required":
+            try:
+                challenge = bytes.fromhex(str(message.get("challenge", "")))
+            except ValueError:
+                challenge = b""
+            return PuzzleRequired(text, challenge=challenge,
+                                  difficulty=int(message.get("difficulty", 0)))
+        return BentoError(text)
 
     # Backward-compatible private alias for await_message.
     _await = await_message
@@ -249,17 +305,40 @@ class BentoSession:
 
     def request_image(self, thread: SimThread, image: str = "python",
                       verify: str = "stapled",
-                      timeout: float = 240.0) -> None:
+                      timeout: float = 240.0,
+                      priority: Optional[str] = None,
+                      solve_puzzles: bool = True) -> None:
         """Provision a container; attest it if it is the enclave image.
 
         ``verify`` is ``"stapled"`` (trust the server-fetched IAS report),
         ``"ias"`` (submit the quote to the IAS ourselves — one more WAN
         round trip but uncorrelated with the later function upload), or
         ``"none"`` (explicitly skip verification).
+
+        ``priority`` (``"interactive"``/``"bulk"``) rides along for the
+        box's admission queue; the default None omits the field entirely,
+        keeping pre-serving-plane wire bytes.  A box shedding load may
+        answer with a proof-of-work demand; ``solve_puzzles`` makes this
+        client solve it and resubmit (up to three rounds) instead of
+        surfacing :class:`PuzzleRequired`.
         """
-        reply = self._request(
-            thread, messages.encode_message(messages.REQUEST_IMAGE, image=image),
-            messages.IMAGE_READY, timeout)
+        fields: dict[str, Any] = {"image": image}
+        if priority is not None:
+            fields["priority"] = priority
+        for puzzle_round in range(3):
+            try:
+                reply = self._request(
+                    thread,
+                    messages.encode_message(messages.REQUEST_IMAGE, **fields),
+                    messages.IMAGE_READY, timeout)
+                break
+            except PuzzleRequired as exc:
+                if not solve_puzzles or puzzle_round == 2:
+                    raise
+                from repro.functions.ddos_defense import solve_pow
+
+                fields["pow_challenge"] = exc.challenge.hex()
+                fields["pow_nonce"] = solve_pow(exc.challenge, exc.difficulty)
         self.invocation_token = reply["invocation"]
         self.shutdown_token = reply["shutdown"]
         self.image_name = reply["image"]

@@ -25,3 +25,33 @@ class ImageUnavailable(BentoError):
 
 class AttestationRejected(BentoError):
     """The client refused the server's attestation evidence."""
+
+
+class ServerBusy(BentoError):
+    """The serving plane refused admission; retry after ``retry_after`` s.
+
+    Carried on the wire as an ``error`` frame with reason ``server-busy``
+    and a structured ``retry_after`` field that
+    :meth:`~repro.core.client.BentoClient.retrying` honors instead of its
+    exponential backoff.
+    """
+
+    def __init__(self, detail: str, retry_after: float = 0.0) -> None:
+        self.retry_after = float(retry_after)
+        super().__init__(detail)
+
+
+class PuzzleRequired(BentoError):
+    """Under shed pressure the box demands a client puzzle before admitting.
+
+    Carried as an ``error`` frame with reason ``puzzle-required`` plus the
+    hashcash ``challenge`` (hex on the wire) and ``difficulty`` bits; the
+    client solves it (see :mod:`repro.functions.ddos_defense`) and resends
+    the request with ``pow_challenge``/``pow_nonce`` attached.
+    """
+
+    def __init__(self, detail: str, challenge: bytes = b"",
+                 difficulty: int = 0) -> None:
+        self.challenge = bytes(challenge)
+        self.difficulty = int(difficulty)
+        super().__init__(detail)

@@ -20,6 +20,11 @@ from repro.core.apispec import ALL_API_CALLS, syscalls_for
 
 MB = 1024 * 1024
 
+#: Serving-plane priority classes a manifest may declare.  "bulk" is the
+#: default and is shed first under overload; "interactive" gets a larger
+#: weighted-fair share and survives shedding longest.
+PRIORITY_CLASSES = ("bulk", "interactive")
+
 
 @dataclass(frozen=True)
 class FunctionManifest:
@@ -32,6 +37,7 @@ class FunctionManifest:
     memory_bytes: int = 4 * MB
     disk_bytes: int = 0
     syscalls: frozenset = frozenset()
+    priority: str = "bulk"          # serving-plane class (see PRIORITY_CLASSES)
 
     def __post_init__(self) -> None:
         unknown = set(self.api_calls) - ALL_API_CALLS
@@ -41,6 +47,8 @@ class FunctionManifest:
             raise ValueError("manifest needs a name and an entry point")
         if self.memory_bytes < 0 or self.disk_bytes < 0:
             raise ValueError("resource requests must be non-negative")
+        if self.priority not in PRIORITY_CLASSES:
+            raise ValueError(f"unknown priority class: {self.priority!r}")
         if not self.syscalls:
             object.__setattr__(self, "syscalls", syscalls_for(self.api_calls))
 
@@ -48,13 +56,15 @@ class FunctionManifest:
     def create(cls, name: str, entry: str, api_calls: Iterable[str],
                image: str = "python", memory_bytes: int = 4 * MB,
                disk_bytes: int = 0,
-               syscalls: Optional[Iterable[str]] = None) -> "FunctionManifest":
+               syscalls: Optional[Iterable[str]] = None,
+               priority: str = "bulk") -> "FunctionManifest":
         """The ergonomic constructor (derives syscalls unless given)."""
         return cls(name=name, entry=entry, api_calls=frozenset(api_calls),
                    image=image, memory_bytes=memory_bytes,
                    disk_bytes=disk_bytes,
                    syscalls=frozenset(syscalls) if syscalls is not None
-                   else frozenset())
+                   else frozenset(),
+                   priority=priority)
 
     @property
     def wants_enclave(self) -> bool:
@@ -62,8 +72,13 @@ class FunctionManifest:
         return self.image == "python-op-sgx"
 
     def to_wire(self) -> dict:
-        """A plain-dict form safe to canonically encode."""
-        return {
+        """A plain-dict form safe to canonically encode.
+
+        ``priority`` is only encoded when it differs from the default so
+        pre-serving-plane manifests keep byte-identical wire encodings
+        (the golden transfer vectors and fixed-seed soaks depend on it).
+        """
+        wire = {
             "name": self.name,
             "entry": self.entry,
             "api_calls": sorted(self.api_calls),
@@ -72,6 +87,9 @@ class FunctionManifest:
             "disk": self.disk_bytes,
             "syscalls": sorted(self.syscalls),
         }
+        if self.priority != "bulk":
+            wire["priority"] = self.priority
+        return wire
 
     @classmethod
     def from_wire(cls, wire: dict) -> "FunctionManifest":
@@ -84,4 +102,5 @@ class FunctionManifest:
             memory_bytes=int(wire["memory"]),
             disk_bytes=int(wire["disk"]),
             syscalls=frozenset(wire["syscalls"]),
+            priority=str(wire.get("priority", "bulk")),
         )

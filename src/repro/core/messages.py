@@ -66,6 +66,11 @@ def decode_message(frame: bytes) -> dict:
     return body
 
 
-def error_message(reason: str, detail: str = "") -> bytes:
-    """A server-side error frame."""
-    return encode_message(ERROR, reason=reason, detail=detail)
+def error_message(reason: str, detail: str = "", **fields: Any) -> bytes:
+    """A server-side error frame.
+
+    Extra ``fields`` carry structured data alongside the human-readable
+    detail — ``retry_after`` on ``server-busy``, the ``challenge`` and
+    ``difficulty`` on ``puzzle-required``.
+    """
+    return encode_message(ERROR, reason=reason, detail=detail, **fields)

@@ -24,6 +24,8 @@ from repro.core.errors import (
     FunctionCrashed,
     ImageUnavailable,
     ManifestRejected,
+    PuzzleRequired,
+    ServerBusy,
     TokenInvalid,
 )
 from repro.core.images import ContainerImage, image_by_name
@@ -86,6 +88,7 @@ class FunctionInstance:
         self.rng = server.rng.fork(self.instance_id)
         self.logs: list[str] = []
         self.terminated = False
+        self.qos_key = None     # admission slot, set by the serving plane
         # Client transports that have referenced this instance, and the
         # last time one did — the inputs to orphan reaping.
         self.peers: set[FramedStream] = set()
@@ -201,7 +204,8 @@ class BentoServer:
                  ias: Optional[IntelAttestationService] = None,
                  enclave_host: Optional[EnclaveHost] = None,
                  port: int = BENTO_PORT,
-                 orphan_grace_s: Optional[float] = None) -> None:
+                 orphan_grace_s: Optional[float] = None,
+                 qos=None) -> None:
         self.relay = relay
         self.node = relay.node
         self.sim = relay.sim
@@ -240,6 +244,18 @@ class BentoServer:
         # — hence both are dropped on crash along with the functions.
         self._image_cache: dict[str, ContainerImage] = {}
         self._manifest_cache: dict[bytes, FunctionManifest] = {}
+        # The serving plane is opt-in: pass a QosConfig to enable
+        # admission control, fair scheduling, and load shedding.  With
+        # qos=None (the default) no plane code runs at all, so existing
+        # fixed-seed runs replay bit-identically.  Imported lazily —
+        # repro.qos pulls in repro.core submodules, and a top-level
+        # import here would cycle through the package __init__.
+        if qos is not None:
+            from repro.qos import QosConfig, ServingPlane
+            if not isinstance(qos, ServingPlane):
+                config = qos if isinstance(qos, QosConfig) else QosConfig()
+                qos = ServingPlane(self, config)
+        self.qos = qos
         # Host death kills every hosted function with it (fate-sharing
         # with the box); a restart comes back empty.
         self.node.add_crash_listener(self._on_node_crash)
@@ -298,6 +314,17 @@ class BentoServer:
             except ManifestRejected as exc:
                 framed.send_frame(messages.error_message("manifest-rejected",
                                                          detail=str(exc)))
+            except ServerBusy as exc:
+                # Structured refusal: the client's retry loop reads
+                # retry_after instead of guessing with exponential backoff.
+                framed.send_frame(messages.error_message(
+                    "server-busy", detail=str(exc),
+                    retry_after=exc.retry_after))
+            except PuzzleRequired as exc:
+                framed.send_frame(messages.error_message(
+                    "puzzle-required", detail=str(exc),
+                    challenge=exc.challenge.hex(),
+                    difficulty=exc.difficulty))
             except (BentoError, ResourceExceeded, LoaderError) as exc:
                 framed.send_frame(messages.error_message("request-failed",
                                                          detail=str(exc)))
@@ -378,9 +405,29 @@ class BentoServer:
             if image.name not in self.policy.offered_images:
                 raise ImageUnavailable(f"operator does not offer {image.name}")
             self._image_cache[name] = image
-        if len(self._by_invocation) >= self.policy.max_containers:
+        qos_key = None
+        if self.qos is not None:
+            # The serving plane replaces the blunt container-limit error:
+            # it queues, paces, or refuses with a structured retry_after
+            # (and may demand a puzzle under shed pressure).
+            qos_key = self.qos.admit_request(thread, framed, message)
+        elif len(self._by_invocation) >= self.policy.max_containers:
             raise BentoError("container limit reached")
+        try:
+            self._start_instance(thread, framed, message, image, qos_key, span)
+        except BaseException:
+            # Give the slot back unless a registered instance already owns
+            # it (setup got as far as registration and failed on the
+            # reply; the instance's own teardown will release it).
+            if qos_key is not None and not any(
+                    inst.qos_key == qos_key
+                    for inst in self._by_invocation.values()):
+                self.qos.release(qos_key)
+            raise
 
+    def _start_instance(self, thread: SimThread, framed: FramedStream,
+                        message: dict, image: ContainerImage,
+                        qos_key, span=None) -> None:
         container = Container(
             container_id=f"c{next(self._container_ids)}",
             host_fs=self.host_fs,
@@ -419,6 +466,8 @@ class BentoServer:
         tokens = self._tokens.issue()
         instance = FunctionInstance(self, image, container, conclave, tokens)
         instance.note_peer(framed)
+        if self.qos is not None and qos_key is not None:
+            self.qos.attach_instance(qos_key, instance)
         self._by_invocation[tokens.invocation] = instance
         self._by_shutdown[tokens.shutdown] = instance
         if span is not None:
@@ -475,6 +524,11 @@ class BentoServer:
             raise ManifestRejected(
                 f"manifest image {manifest.image!r} does not match container "
                 f"image {instance.image.name!r}")
+        if self.qos is not None:
+            # Price the declared ask against the capacity ledger before
+            # any real resources are committed; also registers the
+            # instance's fair-queue flows under its priority class.
+            self.qos.price_manifest(instance, manifest)
 
         if "sealed_code" in message:
             if instance.conclave is None:
@@ -517,6 +571,11 @@ class BentoServer:
     def _forget(self, instance: FunctionInstance) -> None:
         self._by_invocation.pop(instance.tokens.invocation, None)
         self._by_shutdown.pop(instance.tokens.shutdown, None)
+        if self.qos is not None and instance.qos_key is not None:
+            # Free the admission slot (waking the best queued waiter) and
+            # return the priced reservation to the capacity ledger.
+            self.qos.release(instance.qos_key)
+            instance.qos_key = None
 
     # -- failure handling -------------------------------------------------------
 
@@ -548,6 +607,10 @@ class BentoServer:
         # into its next life.
         self._image_cache.clear()
         self._manifest_cache.clear()
+        if self.qos is not None:
+            # A dead box cannot serve; stop advertising room it no longer
+            # has (a stale report would just make it look busy anyway).
+            self.directory.withdraw_load(self.relay.fingerprint)
 
     # -- introspection ----------------------------------------------------------------
 

@@ -90,6 +90,42 @@ def verify_pow(cookie: bytes, nonce: int, difficulty_bits: int) -> bool:
     return int.from_bytes(digest[:8], "big") >> (64 - difficulty_bits) == 0
 
 
+class AdmissionPuzzle:
+    """Per-connection hashcash challenge for serving-plane admission.
+
+    The same proof-of-work scheme the hidden-service defense uses for
+    introductions, repurposed at the box's front door: under shed
+    pressure the admission controller issues one of these instead of
+    admitting, and only a request carrying a valid nonce for *this*
+    challenge gets back in line.  Challenges are single-use and bound to
+    the connection that received them, so a solved nonce cannot be
+    replayed across connections.
+    """
+
+    __slots__ = ("challenge", "difficulty_bits", "spent")
+
+    def __init__(self, challenge: bytes, difficulty_bits: int) -> None:
+        self.challenge = bytes(challenge)
+        self.difficulty_bits = int(difficulty_bits)
+        self.spent = False
+
+    @classmethod
+    def issue(cls, rng, difficulty_bits: int) -> "AdmissionPuzzle":
+        """Mint a fresh 16-byte challenge from the serving plane's RNG."""
+        return cls(rng.randbytes(16), difficulty_bits)
+
+    def check(self, challenge: bytes, nonce: int) -> bool:
+        """Verify a solution; a valid one spends the puzzle."""
+        if self.spent or bytes(challenge) != self.challenge:
+            return False
+        if not isinstance(nonce, int):
+            return False
+        if not verify_pow(self.challenge, nonce, self.difficulty_bits):
+            return False
+        self.spent = True
+        return True
+
+
 class DdosDefenseFunction:
     """Host-side helper for the puzzle-guarded hidden service."""
 

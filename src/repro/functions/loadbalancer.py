@@ -143,13 +143,17 @@ def loadbalancer(replica_source, replica_manifest, high_water, low_water,
         # Replicas are the operator's own infrastructure: the key and
         # content copy goes direct (the paper's LB copied files between
         # its own EC2 hosts), not through an anonymity circuit.  Boxes
-        # that already ate a replica are excluded; a deploy landing on a
-        # dead box just fails and the next attempt redraws.
+        # that already ate a replica are excluded, and placement consults
+        # the directory's serving-plane load reports (prefer_slack) so a
+        # respawn lands on the box advertising the most free capacity —
+        # not merely any box that is not known-dead.  Without reports the
+        # pick falls back to the old uniform draw.
         for _attempt in range(4):
             try:
                 handle = api.deploy(replica_source, replica_manifest,
                                     direct=True,
-                                    exclude_fingerprints=dead_boxes)
+                                    exclude_fingerprints=dead_boxes,
+                                    prefer_slack=True)
                 info = api.remote_info(handle)
                 api.remote_invoke_nowait(handle, [key_material, len(content)])
                 api.remote_send(handle, content)

@@ -34,6 +34,13 @@ _FIELDS = (
     "session_reconnects",  # BentoSession reconnect-and-reattach completions
     "replicas_respawned",  # LoadBalancer replicas re-created after box death
     "orphans_reaped",      # FunctionInstances killed after their peer died
+    # -- serving plane (qos) ---------------------------------------------
+    # All four stay 0 with the plane disabled; the hot-path regression
+    # guard pins that, so scheduling can never re-enter the per-byte path.
+    "qos_admitted",        # manifests admitted by the admission controller
+    "qos_rejected",        # admissions refused with a RETRY_AFTER
+    "qos_shed",            # work dropped by the load shedder
+    "qos_throttles",       # fair-scheduler pacing sleeps inserted
 )
 
 

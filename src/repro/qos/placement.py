@@ -1,0 +1,45 @@
+"""Slack-aware placement: pick the box with the most advertised room.
+
+Boxes running the serving plane advertise load reports through the
+directory (a side-table, not the signed consensus).  Clients rank
+candidate boxes greedily by advertised slack — shedding boxes last, then
+most free slots, then shortest queue — in the spirit of B-JointSP's
+greedy joint placement: cheap, local, and good enough to steer load away
+from saturated boxes without any coordination.
+
+A box with *no* report is ranked ahead of every reporting box: it is
+either not running the plane (admits everything) or has never been busy
+enough to matter, and optimistically probing it is how its first report
+gets generated.  Ties break on fingerprint so placement is deterministic
+for a fixed network.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+_UNKNOWN_SLOTS = float("inf")
+
+
+def slack_key(descriptor, report: Optional[dict]) -> tuple:
+    """Sort key for one candidate box (ascending = more attractive)."""
+    if report is None:
+        return (0, -_UNKNOWN_SLOTS, 0, descriptor.identity_fp)
+    return (1 if report.get("shedding") else 0,
+            -float(report.get("slots_free", 0)),
+            int(report.get("queue_len", 0)),
+            descriptor.identity_fp)
+
+
+def rank_boxes(boxes: Sequence, load_table: dict) -> list:
+    """Candidate boxes ordered most-attractive first."""
+    return sorted(boxes,
+                  key=lambda box: slack_key(box,
+                                            load_table.get(box.identity_fp)))
+
+
+def pick_box_by_slack(boxes: Sequence, load_table: dict):
+    """The single most attractive box (raises on an empty candidate set)."""
+    if not boxes:
+        raise ValueError("no candidate boxes to place on")
+    return rank_boxes(boxes, load_table)[0]

@@ -1,0 +1,54 @@
+"""Load shedding with watermark hysteresis.
+
+The shedder watches admission-queue depth and flips into *shedding* mode
+once the queue crosses a high watermark, staying there until it drains
+below a low watermark (hysteresis keeps it from flapping at the
+boundary).  While shedding:
+
+* new **bulk** work is refused outright instead of queued — the queue's
+  remaining capacity is kept for interactive work;
+* the box may demand a hashcash client puzzle before admitting anything,
+  making a flood pay CPU for every admission attempt (the same
+  proof-of-work scheme :mod:`repro.functions.ddos_defense` applies to
+  hidden-service introductions, moved to the box's front door);
+* the state is advertised through the directory so slack-aware clients
+  place new work elsewhere.
+"""
+
+from __future__ import annotations
+
+
+class LoadShedder:
+    """Hysteresis thermostat over admission-queue occupancy."""
+
+    def __init__(self, high_watermark: float = 0.75,
+                 low_watermark: float = 0.25,
+                 puzzle_difficulty: int = 8) -> None:
+        if not 0.0 <= low_watermark <= high_watermark <= 1.0:
+            raise ValueError("watermarks must satisfy 0 <= low <= high <= 1")
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.puzzle_difficulty = int(puzzle_difficulty)
+        self.shedding = False
+        self.transitions = 0        # how many times shedding toggled on
+
+    def update(self, queue_len: int, queue_depth: int) -> bool:
+        """Re-evaluate against current queue occupancy; returns the state."""
+        if queue_depth <= 0:
+            occupancy = 1.0 if queue_len > 0 else 0.0
+        else:
+            occupancy = queue_len / queue_depth
+        if not self.shedding and occupancy >= self.high_watermark:
+            self.shedding = True
+            self.transitions += 1
+        elif self.shedding and occupancy <= self.low_watermark:
+            self.shedding = False
+        return self.shedding
+
+    def refuses(self, priority: str) -> bool:
+        """Should this arrival be refused without queueing?"""
+        return self.shedding and priority != "interactive"
+
+    def demands_puzzle(self) -> bool:
+        """Should admission require a proof of work right now?"""
+        return self.shedding and self.puzzle_difficulty > 0

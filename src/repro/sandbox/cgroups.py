@@ -94,7 +94,46 @@ class CGroup:
         if self.parent is not None and self in self.parent.children:
             self.parent.children.remove(self)
 
+    def charge_many(self, charges: dict) -> None:
+        """Charge several resources as one atomic transaction.
+
+        Either every charge lands or none does: all positive charges are
+        checked against the whole ancestor path before anything mutates,
+        and if an individual apply still fails (a concurrent limit change
+        mid-path), the charges already applied are rolled back before the
+        error propagates.  This is what admission pricing uses to reserve
+        a manifest's full resource ask (memory *and* disk) without ever
+        leaving a partial reservation behind.
+        """
+        unknown = set(charges) - set(RESOURCES)
+        if unknown:
+            raise ValueError(f"unknown resources: {sorted(unknown)}")
+        for resource, amount in charges.items():
+            if amount > 0:
+                blocker = self._would_exceed(resource, amount)
+                if blocker is not None:
+                    raise ResourceExceeded(blocker, resource, amount)
+        applied: list[tuple[str, int]] = []
+        try:
+            for resource, amount in charges.items():
+                if amount:
+                    self.charge(resource, amount)
+                    applied.append((resource, amount))
+        except BaseException:
+            for resource, amount in reversed(applied):
+                self.charge(resource, -amount)
+            raise
+
     # -- queries ------------------------------------------------------------------
+
+    def slack(self) -> dict:
+        """Per-resource headroom along the ancestor path (None = unlimited).
+
+        The serving plane advertises this through the directory so clients
+        can place work on the box with the most room (B-JointSP-style
+        joint placement) instead of picking blindly.
+        """
+        return {resource: self.headroom(resource) for resource in RESOURCES}
 
     def headroom(self, resource: str) -> Optional[int]:
         """Remaining capacity along the whole ancestor path (None = unlimited)."""

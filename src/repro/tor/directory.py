@@ -132,6 +132,11 @@ class DirectoryAuthority:
         # Membership generation: bumped on every register/unregister and
         # stamped into each consensus so downstream caches can key on it.
         self._epoch = 0
+        # Serving-plane load reports, keyed by box fingerprint.  Kept as a
+        # side-table — NOT in the signed descriptors — so advertising load
+        # never changes consensus bytes, bumps the epoch, or invalidates
+        # signature caches.  Load is advisory placement input, not trust.
+        self._load_reports: dict[str, dict] = {}
 
     @property
     def public_key(self) -> RsaPublicKey:
@@ -166,6 +171,33 @@ class DirectoryAuthority:
             consensus.authority_key = self._keypair.public
             self._consensus_cache = consensus
         return self._consensus_cache
+
+    # -- serving-plane load advertisement -----------------------------------
+
+    def advertise_load(self, identity_fp: str, report: dict) -> None:
+        """Record a box's load report (slots free, queue depth, shedding).
+
+        Boxes running the serving plane publish these periodically;
+        clients consult them through :meth:`load_report` to place work on
+        the box with the most advertised slack.  Unknown fingerprints are
+        accepted — registration order is not guaranteed during churn, and
+        a stale report for a dead box just makes that box look busy.
+        """
+        self._load_reports[identity_fp] = dict(report)
+
+    def load_report(self, identity_fp: str) -> Optional[dict]:
+        """The latest load report for a box, or None if never advertised."""
+        report = self._load_reports.get(identity_fp)
+        return dict(report) if report is not None else None
+
+    def load_table(self) -> dict[str, dict]:
+        """All current load reports (fingerprint -> report copy)."""
+        return {fp: dict(report)
+                for fp, report in self._load_reports.items()}
+
+    def withdraw_load(self, identity_fp: str) -> None:
+        """Drop a box's load report (box shut down or crashed)."""
+        self._load_reports.pop(identity_fp, None)
 
     # -- hidden service directory ----------------------------------------------
 
