@@ -33,15 +33,15 @@ def run_attestation_paths() -> dict:
         box = client.pick_box()
         for _ in range(REPEATS):
             for mode in ("python", "stapled", "ias"):
-                session = client.connect(thread, box)
+                session = yield from client.connect(thread, box)
                 started = net.sim.now
                 if mode == "python":
-                    session.request_image(thread, "python")
+                    yield from session.request_image(thread, "python")
                 else:
-                    session.request_image(thread, "python-op-sgx",
-                                          verify=mode)
+                    yield from session.request_image(thread, "python-op-sgx",
+                                                     verify=mode)
                 timings[mode].append(net.sim.now - started)
-                session.shutdown(thread)
+                yield from session.shutdown(thread)
 
     net.sim.run_until_done(net.sim.spawn(main, name="attest"))
     return {mode: sum(values) / len(values)

@@ -24,8 +24,8 @@ from conftest import banner
 STORAGE_HEAVY = """
 def churn(iterations):
     for i in range(iterations):
-        api.storage.put("/f", b"x" * 128)
-        api.storage.get("/f")
+        yield from api.storage.put("/f", b"x" * 128)
+        yield from api.storage.get("/f")
     return iterations
 """
 
@@ -52,30 +52,33 @@ def run_overhead() -> dict:
             length=3, final_hop=consensus.find(box.identity_fp))
 
         def pinned_session():
-            circuit = client.tor.build_circuit(thread, path=list(fixed_path))
-            return client.connect(thread, box, circuit=circuit)
+            circuit = yield from client.tor.build_circuit(
+                thread, path=list(fixed_path))
+            return (yield from client.connect(thread, box, circuit=circuit))
 
         for image in ("python", "python-op-sgx"):
-            session = pinned_session()
-            session.request_image(thread, image)
-            session.load_function(thread, BrowserFunction.SOURCE,
-                                  BrowserFunction.manifest(image=image))
+            session = yield from pinned_session()
+            yield from session.request_image(thread, image)
+            yield from session.load_function(thread, BrowserFunction.SOURCE,
+                                             BrowserFunction.manifest(
+                                                 image=image))
             started = net.sim.now
-            BrowserFunction.fetch(thread, session, "https://o.example/", 0)
+            yield from BrowserFunction.fetch(thread, session,
+                                             "https://o.example/", 0)
             out[f"browser_{image}"] = net.sim.now - started
-            session.shutdown(thread)
+            yield from session.shutdown(thread)
 
         for image in ("python", "python-op-sgx"):
-            session = pinned_session()
-            session.request_image(thread, image)
+            session = yield from pinned_session()
+            yield from session.request_image(thread, image)
             manifest = FunctionManifest.create(
                 "churn", "churn", {"storage.put", "storage.get"},
                 image=image, disk_bytes=MB)
-            session.load_function(thread, STORAGE_HEAVY, manifest)
+            yield from session.load_function(thread, STORAGE_HEAVY, manifest)
             started = net.sim.now
-            session.invoke(thread, [500])
+            yield from session.invoke(thread, [500])
             out[f"churn_{image}"] = net.sim.now - started
-            session.shutdown(thread)
+            yield from session.shutdown(thread)
 
     net.sim.run_until_done(net.sim.spawn(main, name="overhead"))
     return out

@@ -15,6 +15,7 @@ from repro.core.client import BentoClient
 from repro.core.server import BentoServer
 from repro.enclave.attestation import IntelAttestationService
 from repro.functions.cover import CoverFunction
+from repro.netsim.simulator import Sleep
 from repro.netsim.trace import INCOMING, TraceRecorder
 from repro.tor.testnet import TorTestNetwork
 
@@ -37,25 +38,25 @@ def _one_rate(rate: float) -> dict:
 
     def cover_main(thread):
         if rate <= 0:
-            thread.sleep(DURATION)
+            yield Sleep(DURATION)
             return
-        session = client.connect(thread, client.pick_box())
-        session.request_image(thread, "python")
-        session.load_function(thread, CoverFunction.SOURCE,
-                              CoverFunction.manifest())
-        CoverFunction.run_bidirectional(thread, session, rate, DURATION,
-                                        chunk_size=2048)
-        session.shutdown(thread)
+        session = yield from client.connect(thread, client.pick_box())
+        yield from session.request_image(thread, "python")
+        yield from session.load_function(thread, CoverFunction.SOURCE,
+                                         CoverFunction.manifest())
+        yield from CoverFunction.run_bidirectional(thread, session, rate,
+                                                   DURATION, chunk_size=2048)
+        yield from session.shutdown(thread)
 
     def browse_main(thread):
-        thread.sleep(10.0)
+        yield Sleep(10.0)
         from repro.netsim.bytestream import FramedStream
         from repro.netsim.http import fetch
 
-        circuit = client.tor.build_circuit(thread,
-                                           exit_to=("site.example", 443))
-        stream = circuit.open_stream(thread, "site.example", 443)
-        fetch(thread, FramedStream(stream), "/")
+        circuit = yield from client.tor.build_circuit(
+            thread, exit_to=("site.example", 443))
+        stream = yield from circuit.open_stream(thread, "site.example", 443)
+        yield from fetch(thread, FramedStream(stream), "/")
         circuit.close()
 
     net.sim.spawn(cover_main, name="cover")

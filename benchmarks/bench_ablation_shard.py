@@ -35,12 +35,12 @@ def run_shard_points() -> dict:
         out = {}
 
         def main(thread):
-            session = client.connect(thread, client.pick_box())
-            session.request_image(thread, "python")
-            session.load_function(thread, ShardFunction.SOURCE,
-                                  ShardFunction.manifest())
-            metadata = ShardFunction.scatter(thread, session, data,
-                                             n=n, k=k, name="f")
+            session = yield from client.connect(thread, client.pick_box())
+            yield from session.request_image(thread, "python")
+            yield from session.load_function(thread, ShardFunction.SOURCE,
+                                             ShardFunction.manifest())
+            metadata = yield from ShardFunction.scatter(thread, session, data,
+                                                        n=n, k=k, name="f")
             stored = sum(len(p["name"]) * 0 + FILE_SIZE // max(k, 1) + 1
                          for p in metadata["placements"])
             # Kill the maximum tolerable number of boxes (N - k).
@@ -49,8 +49,8 @@ def run_shard_points() -> dict:
                 for instance in list(server._by_invocation.values()):
                     instance.kill("failure injection")
             survivors = [p["index"] for p in metadata["placements"][n - k:]]
-            restored = ShardFunction.gather(thread, client, metadata,
-                                            use_indices=survivors)
+            restored = yield from ShardFunction.gather(
+                thread, client, metadata, use_indices=survivors)
             out["recovered"] = restored == data
             out["overhead_x"] = (n * (FILE_SIZE / k)) / FILE_SIZE
             out["stored_estimate"] = stored

@@ -8,8 +8,11 @@ watermarks serve everyone from fewer instances, slower.
 
 from __future__ import annotations
 
+import functools
+
 import pytest
 
+from repro.netsim.simulator import Sleep  # noqa: E402
 from repro.core.client import BentoClient
 from repro.core.server import BentoServer
 from repro.enclave.attestation import IntelAttestationService
@@ -43,34 +46,36 @@ def _one_setting(high_water: int) -> dict:
     shared = {}
 
     def op_main(thread):
-        session = operator.connect(thread, operator.pick_box())
-        session.request_image(thread, "python")
-        session.load_function(thread, LoadBalancerFunction.SOURCE,
-                              LoadBalancerFunction.manifest(image="python"))
-        shared["onion"] = LoadBalancerFunction.start(
+        session = yield from operator.connect(thread, operator.pick_box())
+        yield from session.request_image(thread, "python")
+        yield from session.load_function(
+            thread, LoadBalancerFunction.SOURCE,
+            LoadBalancerFunction.manifest(image="python"))
+        shared["onion"] = yield from LoadBalancerFunction.start(
             thread, session, content, high_water=high_water, low_water=1,
             max_replicas=3, duration_s=300.0, poll_interval=2.0,
             replica_image="python")
         from repro.core import messages
 
-        shared["stats"] = session._await(thread, messages.DONE,
-                                         timeout=600.0)["result"]
+        done = yield from session._await(thread, messages.DONE,
+                                         timeout=600.0)
+        shared["stats"] = done["result"]
 
     durations = []
 
     def visitor(thread, index):
-        thread.sleep(index * 2.0)
+        yield Sleep(index * 2.0)
         client = net.create_client(f"wm-client{index}")
         started = net.sim.now
-        body, _ = LoadBalancerFunction.download(thread, client,
-                                                shared["onion"])
+        body, _ = yield from LoadBalancerFunction.download(thread, client,
+                                                           shared["onion"])
         assert len(body) == FILE_SIZE
         durations.append(net.sim.now - started)
 
     op_thread = net.sim.spawn(op_main, name="op")
     net.sim.run(until=60.0)
     for i in range(N_CLIENTS):
-        net.sim.spawn(lambda t, i=i: visitor(t, i), name=f"wm-v{i}")
+        net.sim.spawn(functools.partial(visitor, index=i), name=f"wm-v{i}")
     net.sim.run_until_done(op_thread)
     net.sim.check_failures()
     events = shared["stats"]["events"]

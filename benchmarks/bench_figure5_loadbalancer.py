@@ -18,8 +18,11 @@ calibration rationale.
 
 from __future__ import annotations
 
+import functools
+
 import pytest
 
+from repro.netsim.simulator import Sleep  # noqa: E402
 from repro.core.client import BentoClient
 from repro.core.server import BentoServer
 from repro.enclave.attestation import IntelAttestationService
@@ -72,9 +75,10 @@ def _run_clients(net, onion, start_at):
         client = net.create_client(f"fig5-client{index}",
                                    bandwidth=CLIENT_BW)
         recorder = TraceRecorder(client.node)
-        thread.sleep(index * ARRIVAL_GAP_S)
+        yield Sleep(index * ARRIVAL_GAP_S)
         started = net.sim.now
-        body, _elapsed = LoadBalancerFunction.download(thread, client, onion)
+        body, _elapsed = yield from LoadBalancerFunction.download(
+            thread, client, onion)
         assert len(body) == content_len
         results[index] = {
             "start": started,
@@ -83,7 +87,7 @@ def _run_clients(net, onion, start_at):
                                                 direction=INCOMING),
         }
 
-    threads = [net.sim.spawn(lambda t, i=i: visitor(t, i),
+    threads = [net.sim.spawn(functools.partial(visitor, index=i),
                              name=f"fig5-v{i}", delay=start_at)
                for i in range(N_CLIENTS)]
     return threads, results
@@ -102,13 +106,13 @@ def run_without_balancer() -> dict:
     def handler(stream, _host, _port):
         def serve(thread):
             try:
-                request = stream.recv(thread, timeout=300.0)
+                request = yield from stream.recv(thread, timeout=300.0)
             except Exception:
                 return
             if request[:3] == b"GET":
                 stream.send(len(content).to_bytes(8, "big") + content)
                 try:
-                    stream.recv(thread, timeout=3600.0)   # DONE
+                    yield from stream.recv(thread, timeout=3600.0)   # DONE
                 except Exception:
                     pass
             stream.close()
@@ -116,7 +120,7 @@ def run_without_balancer() -> dict:
 
     def host_main(thread):
         service = HiddenService(host_server.tor_client, handler)
-        service.establish(thread)
+        yield from service.establish(thread)
         shared["onion"] = str(service.onion_address)
 
     net.sim.run_until_done(net.sim.spawn(host_main, name="host"))
@@ -133,18 +137,20 @@ def run_with_balancer() -> tuple[dict, dict]:
     shared = {}
 
     def op_main(thread):
-        session = operator.connect(thread, operator.pick_box())
-        session.request_image(thread, "python")
-        session.load_function(thread, LoadBalancerFunction.SOURCE,
-                              LoadBalancerFunction.manifest(image="python"))
-        shared["onion"] = LoadBalancerFunction.start(
+        session = yield from operator.connect(thread, operator.pick_box())
+        yield from session.request_image(thread, "python")
+        yield from session.load_function(
+            thread, LoadBalancerFunction.SOURCE,
+            LoadBalancerFunction.manifest(image="python"))
+        shared["onion"] = yield from LoadBalancerFunction.start(
             thread, session, content, high_water=2, low_water=1,
             max_replicas=3, duration_s=400.0, poll_interval=2.0,
             replica_image="python")
         from repro.core import messages
 
-        shared["stats"] = session._await(thread, messages.DONE,
-                                         timeout=900.0)["result"]
+        done = yield from session._await(thread, messages.DONE,
+                                         timeout=900.0)
+        shared["stats"] = done["result"]
 
     op_thread = net.sim.spawn(op_main, name="operator")
     net.sim.run(until=60.0)        # let the balancer come up

@@ -59,10 +59,12 @@ def run_macro(fast: bool, size: int = 10_000_000) -> dict:
     result: dict = {}
 
     def flow(thread):
-        circuit = client.build_circuit(thread, exit_to=("big.example", 443))
-        stream = client.open_stream(thread, circuit, "big.example", 443)
+        circuit = yield from client.build_circuit(
+            thread, exit_to=("big.example", 443))
+        stream = yield from client.open_stream(thread, circuit,
+                                               "big.example", 443)
         framed = FramedStream(stream)
-        response = fetch(thread, framed, "/file", timeout=600.0)
+        response = yield from fetch(thread, framed, "/file", timeout=600.0)
         result["bytes"] = len(response.body)
         result["elapsed"] = response.elapsed
         framed.close()
@@ -88,10 +90,12 @@ def run_fanin(n_clients: int = 4, size: int = 1_000_000) -> dict:
     result = {"bytes": 0}
 
     def flow(thread, client):
-        circuit = client.build_circuit(thread, exit_to=("busy.example", 443))
-        stream = client.open_stream(thread, circuit, "busy.example", 443)
+        circuit = yield from client.build_circuit(
+            thread, exit_to=("busy.example", 443))
+        stream = yield from client.open_stream(thread, circuit,
+                                               "busy.example", 443)
         framed = FramedStream(stream)
-        response = fetch(thread, framed, "/file", timeout=600.0)
+        response = yield from fetch(thread, framed, "/file", timeout=600.0)
         result["bytes"] += len(response.body)
         framed.close()
 

@@ -41,11 +41,12 @@ def run_memory_experiment() -> dict:
 
     def main(thread):
         # One Browser inside a conclave.
-        session = client.connect(thread, client.pick_box())
-        session.request_image(thread, "python-op-sgx")
-        session.load_function(thread, BrowserFunction.SOURCE,
-                              BrowserFunction.manifest())
-        BrowserFunction.fetch(thread, session, "https://m.example/", 0)
+        session = yield from client.connect(thread, client.pick_box())
+        yield from session.request_image(thread, "python-op-sgx")
+        yield from session.load_function(thread, BrowserFunction.SOURCE,
+                                         BrowserFunction.manifest())
+        yield from BrowserFunction.fetch(thread, session,
+                                         "https://m.example/", 0)
         instance = server._by_invocation[session.invocation_token]
         out["bento_browser_mb"] = instance.memory_footprint / MB
         out["conclave_overhead_mb"] = CONCLAVE_OVERHEAD_BYTES / MB
@@ -54,10 +55,10 @@ def run_memory_experiment() -> dict:
         # Keep loading Browsers until the EPC oversubscribes.
         sessions = [session]
         while not host.oversubscribed:
-            extra = client.connect(thread, client.pick_box())
-            extra.request_image(thread, "python-op-sgx")
-            extra.load_function(thread, BrowserFunction.SOURCE,
-                                BrowserFunction.manifest())
+            extra = yield from client.connect(thread, client.pick_box())
+            yield from extra.request_image(thread, "python-op-sgx")
+            yield from extra.load_function(thread, BrowserFunction.SOURCE,
+                                           BrowserFunction.manifest())
             sessions.append(extra)
         out["fit_before_paging"] = len(sessions) - 1
         out["paging_penalty_s"] = host.paging_penalty()
@@ -65,10 +66,11 @@ def run_memory_experiment() -> dict:
         # Paged-out functions still run — at a latency cost.
         page_session = sessions[-1]
         started = net.sim.now
-        BrowserFunction.fetch(thread, page_session, "https://m.example/", 0)
+        yield from BrowserFunction.fetch(thread, page_session,
+                                         "https://m.example/", 0)
         out["paged_fetch_s"] = net.sim.now - started
         for s in sessions:
-            s.shutdown(thread)
+            yield from s.shutdown(thread)
 
     net.sim.run_until_done(net.sim.spawn(main, name="memory"))
     out["epc_total_mb"] = EPC_TOTAL_BYTES / MB

@@ -44,6 +44,7 @@ from repro.core.client import RETRYABLE_ERRORS  # noqa: E402
 from repro.core.errors import ServerBusy  # noqa: E402
 from repro.core.policy import MiddleboxNodePolicy  # noqa: E402
 from repro.obs.metrics import REGISTRY  # noqa: E402
+from repro.netsim.simulator import Sleep  # noqa: E402
 from repro.perf.counters import counters  # noqa: E402
 from repro.tor import TorTestNetwork  # noqa: E402
 
@@ -60,7 +61,7 @@ PROBE_SESSIONS = 4
 
 CODE = (
     "def blob(n):\n"
-    "    api.send(b'\\x5a' * int(n))\n"
+    "    yield from api.send(b'\\x5a' * int(n))\n"
     "    return int(n)\n"
 )
 
@@ -103,12 +104,14 @@ def probe_capacity(seed: int) -> dict:
         boxes = client.discover_boxes()
         for _ in range(PROBE_SESSIONS):
             started = net.sim.now
-            session = client.connect(thread, boxes[0])
-            session.request_image(thread, "python", verify="none")
-            session.load_function(thread, CODE, manifest)
-            assert session.invoke(thread, [PAYLOAD_BYTES]) == PAYLOAD_BYTES
-            assert len(session.next_output(thread)) == PAYLOAD_BYTES
-            session.shutdown(thread)
+            session = yield from client.connect(thread, boxes[0])
+            yield from session.request_image(thread, "python", verify="none")
+            yield from session.load_function(thread, CODE, manifest)
+            result = yield from session.invoke(thread, [PAYLOAD_BYTES])
+            assert result == PAYLOAD_BYTES
+            output = yield from session.next_output(thread)
+            assert len(output) == PAYLOAD_BYTES
+            yield from session.shutdown(thread)
             session.close()
             durations.append(net.sim.now - started)
 
@@ -153,13 +156,15 @@ def run_overload(mode: str, multiplier: float, seed: int,
         while True:
             session = None
             try:
-                session = client.connect(thread, boxes[0])
-                session.request_image(thread, "python", verify="none")
-                session.load_function(thread, CODE, manifest)
-                assert session.invoke(thread,
-                                      [PAYLOAD_BYTES]) == PAYLOAD_BYTES
-                assert len(session.next_output(thread)) == PAYLOAD_BYTES
-                session.shutdown(thread)
+                session = yield from client.connect(thread, boxes[0])
+                yield from session.request_image(thread, "python",
+                                                 verify="none")
+                yield from session.load_function(thread, CODE, manifest)
+                result = yield from session.invoke(thread, [PAYLOAD_BYTES])
+                assert result == PAYLOAD_BYTES
+                output = yield from session.next_output(thread)
+                assert len(output) == PAYLOAD_BYTES
+                yield from session.shutdown(thread)
                 completed.append((arrived, net.sim.now))
                 return
             except RETRYABLE_ERRORS as exc:
@@ -174,7 +179,7 @@ def run_overload(mode: str, multiplier: float, seed: int,
                     delay = exc.retry_after
                 else:
                     delay = 1.0 + client.rng.random()
-                thread.sleep(min(delay, DEADLINE_S - waited))
+                yield Sleep(min(delay, DEADLINE_S - waited))
             finally:
                 if session is not None:
                     session.close()

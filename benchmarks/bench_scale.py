@@ -1,17 +1,24 @@
 """Scale benchmark: N concurrent Bento sessions through the full stack.
 
-Sweeps N in {10, 100, 1000} sessions — C clients running S sequential
-sessions each — through the complete path: consensus fetch, circuit
-build, Bento REQUEST_IMAGE (every 8th session provisions the enclave
-image and verifies its quote at the IAS), function upload, invocation,
-and a payload download back through the circuit.  Reports wall-clock
-seconds, events/second, peak RSS, and control-plane cache hit rates.
+Sweeps N in {10, 100, 1000, 10000, 100000} sessions — C clients running
+S sequential sessions each — through the complete path: consensus fetch,
+circuit build, Bento REQUEST_IMAGE (every 8th session provisions the
+enclave image and verifies its quote at the IAS), function upload,
+invocation, and a payload download back through the circuit.  Reports
+wall-clock seconds, events/second, peak RSS, and control-plane cache hit
+rates.
 
 Each N runs in its own subprocess so peak RSS (``ru_maxrss``) is
 attributable to that N alone.
 
     PYTHONPATH=src python benchmarks/bench_scale.py            # full sweep
-    PYTHONPATH=src python benchmarks/bench_scale.py --smoke    # N=10 only
+    PYTHONPATH=src python benchmarks/bench_scale.py --smoke    # N=10k only
+
+``--smoke`` (CI) runs N=10,000 on the coroutine kernel and enforces two
+budgets: total peak RSS under ``SMOKE_RSS_BUDGET_KB``, and per-session
+RSS strictly below what the retired thread-per-actor kernel spent per
+session at N=1,000 (``THREAD_KERNEL_N1000``) — ten times the sessions
+must not cost thread-kernel memory.
 
 The script runs unmodified on pre-scale-plane trees (it feature-detects
 circuit reuse and the cache metrics), which is how the frozen BASELINE
@@ -47,12 +54,21 @@ BASELINE = {
     1000: {"wall_s": 22.218, "peak_rss_kb": 72732},
 }
 
+#: The thread-per-actor kernel measured by this script immediately before
+#: the coroutine kernel landed (same machine, N=1000 subprocess run).
+#: Frozen as the reference the per-session memory assertion compares to.
+THREAD_KERNEL_N1000 = {"wall_s": 7.21, "peak_rss_kb": 52448}
+
+#: CI budget for the N=10k smoke run's total peak RSS (coroutine kernel).
+SMOKE_RSS_BUDGET_KB = 400_000
+
 PAYLOAD_BYTES = 32_768
-SWEEP = (10, 100, 1000)
+SWEEP = (10, 100, 1000, 10_000, 100_000)
+SMOKE_N = 10_000
 
 CODE = (
     "def blob(n):\n"
-    "    api.send(b'\\x5a' * int(n))\n"
+    "    yield from api.send(b'\\x5a' * int(n))\n"
     "    return int(n)\n"
 )
 
@@ -60,6 +76,12 @@ CODE = (
 def _split_sessions(n_sessions: int) -> tuple[int, int]:
     """(clients, sessions-per-client) with clients * sessions == N."""
     per_client = 5 if n_sessions <= 10 else 20
+    if n_sessions >= 10_000:
+        # Hold concurrent clients near 200 regardless of N: the three
+        # boxes' container caps bound concurrency, so bigger sweeps run
+        # *longer* sessions-per-client, not wider fleets (2000 clients
+        # at N=100k would blow through 3 boxes x 64 containers).
+        per_client = max(50, n_sessions // 200)
     n_clients = max(1, n_sessions // per_client)
     return n_clients, n_sessions // n_clients
 
@@ -106,17 +128,19 @@ def run_scale(n_sessions: int, seed: int = 2021,
         for s in range(per_client):
             session_index = client_index * per_client + s
             sgx = session_index % 8 == 7
-            session = client.connect(thread, box)
+            session = yield from client.connect(thread, box)
             if sgx:
-                session.request_image(thread, "python-op-sgx", verify="ias")
-                session.load_function(thread, CODE, manifest_sgx)
+                yield from session.request_image(thread, "python-op-sgx",
+                                                 verify="ias")
+                yield from session.load_function(thread, CODE, manifest_sgx)
             else:
-                session.request_image(thread, "python", verify="none")
-                session.load_function(thread, CODE, manifest_plain)
-            result = session.invoke(thread, [payload])
-            output = session.next_output(thread)
+                yield from session.request_image(thread, "python",
+                                                 verify="none")
+                yield from session.load_function(thread, CODE, manifest_plain)
+            result = yield from session.invoke(thread, [payload])
+            output = yield from session.next_output(thread)
             assert result == payload and len(output) == payload
-            session.shutdown(thread)
+            yield from session.shutdown(thread)
             session.close()
             completed[0] += 1
 
@@ -146,6 +170,9 @@ def run_scale(n_sessions: int, seed: int = 2021,
         "heap_compactions": snap["heap_compactions"],
         "timers_cancelled": snap.get("timers_cancelled", 0),
         "bytes_zero_copied": snap.get("bytes_zero_copied", 0),
+        "tasks_spawned": snap.get("tasks_spawned", 0),
+        "task_switches": snap.get("task_switches", 0),
+        "legacy_threads_spawned": snap.get("legacy_threads_spawned", 0),
         "cache_hit_rates": _cache_hit_rates(),
     }
 
@@ -185,7 +212,8 @@ def _run_child(n_sessions: int, seed: int) -> dict:
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
-                        help="run only N=10 (CI)")
+                        help=f"run only N={SMOKE_N} and assert the CI "
+                             "memory budgets")
     parser.add_argument("--run", type=int, default=None,
                         help=argparse.SUPPRESS)   # subprocess worker mode
     parser.add_argument("--seed", type=int, default=2021)
@@ -200,8 +228,10 @@ def main() -> int:
         print(json.dumps(result))
         return 0
 
-    sweep = SWEEP[:1] if args.smoke else SWEEP
-    report: dict = {"smoke": args.smoke, "seed": args.seed, "runs": []}
+    sweep = (SMOKE_N,) if args.smoke else SWEEP
+    report: dict = {"smoke": args.smoke, "seed": args.seed,
+                    "thread_kernel_n1000": THREAD_KERNEL_N1000, "runs": []}
+    failures = []
     for n_sessions in sweep:
         result = _run_child(n_sessions, args.seed)
         base = BASELINE.get(n_sessions) or {}
@@ -211,10 +241,13 @@ def main() -> int:
             result["speedup"] = round(base["wall_s"] / result["wall_s"], 2)
             result["rss_ratio"] = round(
                 result["peak_rss_kb"] / base["peak_rss_kb"], 3)
+        result["rss_per_session_kb"] = round(
+            result["peak_rss_kb"] / n_sessions, 2)
         report["runs"].append(result)
-        line = (f"N={n_sessions:5d}  wall={result['wall_s']:8.3f}s  "
+        line = (f"N={n_sessions:6d}  wall={result['wall_s']:8.3f}s  "
                 f"events/s={result['events_per_s']:>10}  "
-                f"rss={result['peak_rss_kb']}kB")
+                f"rss={result['peak_rss_kb']}kB "
+                f"({result['rss_per_session_kb']}kB/session)")
         if "speedup" in result:
             line += (f"  speedup={result['speedup']}x  "
                      f"rss_ratio={result['rss_ratio']}")
@@ -222,10 +255,27 @@ def main() -> int:
         for layer, stats in result["cache_hit_rates"].items():
             print(f"         cache[{layer}]: {stats['hits']}/{stats['hits'] + stats['misses']} "
                   f"hit rate {stats['rate']:.2%}")
+        if result.get("legacy_threads_spawned", 0):
+            failures.append(
+                f"N={n_sessions}: {result['legacy_threads_spawned']} legacy "
+                "OS threads spawned (coroutine kernel must carry every actor)")
+        if n_sessions >= 1000:
+            thread_per_session = (THREAD_KERNEL_N1000["peak_rss_kb"] / 1000)
+            if result["rss_per_session_kb"] >= thread_per_session:
+                failures.append(
+                    f"N={n_sessions}: {result['rss_per_session_kb']}kB/session"
+                    f" is not below the thread kernel's "
+                    f"{thread_per_session:.2f}kB/session at N=1000")
+        if args.smoke and result["peak_rss_kb"] > SMOKE_RSS_BUDGET_KB:
+            failures.append(
+                f"N={n_sessions}: peak RSS {result['peak_rss_kb']}kB exceeds "
+                f"the smoke budget {SMOKE_RSS_BUDGET_KB}kB")
     out_path = Path(args.out)
     out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out_path}")
-    return 0
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -84,9 +84,11 @@ def _standard_tor_time(net, hostname: str, repeat: int) -> float:
     def main(thread):
         from repro.fingerprint.lab import standard_tor_visit
 
-        circuit = client.build_circuit(thread, exit_to=(hostname, 443))
+        circuit = yield from client.build_circuit(thread,
+                                                  exit_to=(hostname, 443))
         started = net.sim.now
-        standard_tor_visit(thread, client, hostname, circuit=circuit)
+        yield from standard_tor_visit(thread, client, hostname,
+                                      circuit=circuit)
         out["elapsed"] = net.sim.now - started
 
     net.sim.run_until_done(net.sim.spawn(main, name="std"))
@@ -100,15 +102,16 @@ def _browser_time(net, box, hostname: str, padding: int, repeat: int) -> float:
     out = {}
 
     def main(thread):
-        session = client.connect(thread, box)
-        session.request_image(thread, "python")
-        session.load_function(thread, BrowserFunction.SOURCE,
-                              BrowserFunction.manifest(image="python"))
+        session = yield from client.connect(thread, box)
+        yield from session.request_image(thread, "python")
+        yield from session.load_function(thread, BrowserFunction.SOURCE,
+                                         BrowserFunction.manifest(
+                                             image="python"))
         started = net.sim.now
-        BrowserFunction.fetch(thread, session, f"https://{hostname}/",
-                              padding)
+        yield from BrowserFunction.fetch(thread, session,
+                                         f"https://{hostname}/", padding)
         out["elapsed"] = net.sim.now - started
-        session.shutdown(thread)
+        yield from session.shutdown(thread)
 
     net.sim.run_until_done(net.sim.spawn(main, name="browser"))
     return out["elapsed"]

@@ -14,6 +14,11 @@ deliberately not guarded — they do not scale with size.
 Exits nonzero if any per-byte counter drifts past the tolerance or any
 hard invariant (zero heap compactions, crypto-mode timing invariance,
 zero-copy coverage of the payload) is violated.
+
+The coroutine-kernel invariants are also enforced here: every in-tree
+scenario must run entirely on the task kernel (``legacy_threads_spawned``
+must be zero), and — given a ``BENCH_scale.json`` via ``--scale`` — the
+context-switch cost per session must stay under the frozen budget.
 """
 
 from __future__ import annotations
@@ -33,7 +38,14 @@ VOLUME_COUNTERS = (
     "events_scheduled",
     "hash_calls",
     "keystream_bytes",
+    "task_switches",
 )
+
+#: Upper bound on kernel context switches per completed Bento session in
+#: the scale benchmark.  Measured 14.9 at N=1000 / 14.7 at N=10000 when
+#: the coroutine kernel landed; drift past this means an actor started
+#: bouncing through extra suspensions per session.
+SWITCHES_PER_SESSION_BUDGET = 20.0
 
 SECTIONS = ("macro_fast", "macro_real", "fanin")
 
@@ -72,6 +84,12 @@ def check(reference: dict, current: dict, tolerance: float) -> list[str]:
                     f"{section}: {name} = {cur['counters'][name]} — the "
                     f"serving plane ran with qos disabled; it must stay "
                     f"out of the hot path")
+        legacy = cur["counters"].get("legacy_threads_spawned", 0)
+        if legacy != 0:
+            problems.append(
+                f"{section}: legacy_threads_spawned = {legacy} — an "
+                f"in-tree actor fell off the coroutine kernel onto a "
+                f"deprecated OS thread")
     fast, real = current.get("macro_fast"), current.get("macro_real")
     if fast and real:
         if (fast["elapsed"], fast["sim_now"]) != \
@@ -85,6 +103,24 @@ def check(reference: dict, current: dict, tolerance: float) -> list[str]:
     return problems
 
 
+def check_scale(scale_report: dict) -> list[str]:
+    """Kernel invariants for the scale benchmark's runs."""
+    problems: list[str] = []
+    for run in scale_report.get("runs", []):
+        n = run.get("n_sessions", 0) or 1
+        legacy = run.get("legacy_threads_spawned", 0)
+        if legacy != 0:
+            problems.append(
+                f"scale N={n}: legacy_threads_spawned = {legacy} — the "
+                f"scale sweep must run entirely on the task kernel")
+        per_session = run.get("task_switches", 0) / n
+        if per_session > SWITCHES_PER_SESSION_BUDGET:
+            problems.append(
+                f"scale N={n}: {per_session:.1f} task switches per session "
+                f"exceeds the budget of {SWITCHES_PER_SESSION_BUDGET:.1f}")
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--reference", type=Path, required=True,
@@ -94,17 +130,25 @@ def main(argv: list[str] | None = None) -> int:
                         help="freshly produced BENCH_hotpath.json")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed per-byte drift (default: 25%%)")
+    parser.add_argument("--scale", type=Path, default=None,
+                        help="BENCH_scale.json to apply the kernel "
+                             "invariants (legacy threads, switches per "
+                             "session) to")
     args = parser.parse_args(argv)
 
     reference = json.loads(args.reference.read_text())
     current = json.loads(args.current.read_text())
     problems = check(reference, current, args.tolerance)
+    if args.scale is not None:
+        problems += check_scale(json.loads(args.scale.read_text()))
     for problem in problems:
         print(f"REGRESSION: {problem}")
     if problems:
         return 1
     print(f"hot-path counters within ±{args.tolerance:.0%} of "
-          f"{args.reference} across {', '.join(SECTIONS)}")
+          f"{args.reference} across {', '.join(SECTIONS)}"
+          + ("" if args.scale is None
+             else "; scale kernel invariants hold"))
     return 0
 
 

@@ -13,6 +13,7 @@ Run:  python examples/cover_traffic.py
 from repro.core import BentoClient, BentoServer
 from repro.enclave.attestation import IntelAttestationService
 from repro.functions import CoverFunction
+from repro.netsim.simulator import Sleep
 from repro.netsim.trace import INCOMING, TraceRecorder
 from repro.tor import TorTestNetwork
 
@@ -33,23 +34,23 @@ def profile(seed: str, also_browse: bool) -> list[float]:
     recorder = TraceRecorder(client.tor.node)
 
     def cover_main(thread):
-        session = client.connect(thread, client.pick_box())
-        session.request_image(thread, "python")
-        session.load_function(thread, CoverFunction.SOURCE,
-                              CoverFunction.manifest())
-        CoverFunction.run_bidirectional(thread, session, RATE, DURATION,
-                                        chunk_size=4096)
-        session.shutdown(thread)
+        session = yield from client.connect(thread, client.pick_box())
+        yield from session.request_image(thread, "python")
+        yield from session.load_function(thread, CoverFunction.SOURCE,
+                                         CoverFunction.manifest())
+        yield from CoverFunction.run_bidirectional(thread, session, RATE,
+                                                   DURATION, chunk_size=4096)
+        yield from session.shutdown(thread)
 
     def browse_main(thread):
-        thread.sleep(10.0)    # browse mid-cover
+        yield Sleep(10.0)     # browse mid-cover
         from repro.netsim.bytestream import FramedStream
         from repro.netsim.http import fetch
 
-        circuit = client.tor.build_circuit(thread,
-                                           exit_to=("site.example", 443))
-        stream = circuit.open_stream(thread, "site.example", 443)
-        fetch(thread, FramedStream(stream), "/")
+        circuit = yield from client.tor.build_circuit(
+            thread, exit_to=("site.example", 443))
+        stream = yield from circuit.open_stream(thread, "site.example", 443)
+        yield from fetch(thread, FramedStream(stream), "/")
         circuit.close()
 
     net.sim.spawn(cover_main, name="cover")

@@ -11,6 +11,7 @@ Run:  python examples/dropbox_shard.py
 from repro.core import BentoClient, BentoServer
 from repro.enclave.attestation import IntelAttestationService
 from repro.functions import ShardFunction
+from repro.netsim.simulator import Sleep
 from repro.tor import TorTestNetwork
 
 
@@ -28,19 +29,20 @@ def main() -> None:
     def flow(thread):
         # Scatter: upload the Shard function; it deploys four Dropboxes
         # on other boxes and stores one encoded piece in each.
-        session = user.connect(thread, user.pick_box())
-        session.request_image(thread, "python")
-        session.load_function(thread, ShardFunction.SOURCE,
-                              ShardFunction.manifest())
-        metadata = ShardFunction.scatter(thread, session, secret_file,
-                                         n=4, k=2, name="secret")
+        session = yield from user.connect(thread, user.pick_box())
+        yield from session.request_image(thread, "python")
+        yield from session.load_function(thread, ShardFunction.SOURCE,
+                                         ShardFunction.manifest())
+        metadata = yield from ShardFunction.scatter(thread, session,
+                                                    secret_file,
+                                                    n=4, k=2, name="secret")
         session.close()
         print(f"scattered {len(secret_file)} bytes 2-of-4 across:")
         for placement in metadata["placements"]:
             print(f"  shard {placement['index']} -> "
                   f"{placement['box_nickname']}")
 
-        thread.sleep(120.0)   # the user is offline; time passes
+        yield Sleep(120.0)    # the user is offline; time passes
 
         # Two boxes fail (their Bento functions die with them, §5.3).
         doomed = metadata["placements"][:2]
@@ -54,8 +56,8 @@ def main() -> None:
 
         # Gather from the surviving two.
         survivors = [p["index"] for p in metadata["placements"][2:]]
-        restored = ShardFunction.gather(thread, user, metadata,
-                                        use_indices=survivors)
+        restored = yield from ShardFunction.gather(thread, user, metadata,
+                                                   use_indices=survivors)
         assert restored == secret_file
         print(f"recovered all {len(restored)} bytes from shards "
               f"{survivors} only — file intact")

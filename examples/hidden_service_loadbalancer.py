@@ -13,8 +13,11 @@ Run:  python examples/hidden_service_loadbalancer.py
 from repro.core import BentoClient, BentoServer
 from repro.enclave.attestation import IntelAttestationService
 from repro.functions import LoadBalancerFunction
+import functools
+
 from repro.netsim.bytestream import FramedStream
 from repro.netsim.http import fetch, serve_body
+from repro.netsim.simulator import Sleep
 from repro.tor import HiddenService, TorTestNetwork
 
 N_CLIENTS = 6
@@ -46,13 +49,14 @@ def run_without_balancer(content):
     def handler(stream, _host, _port):
         def serve(thread):
             framed = FramedStream(stream)
-            if framed.recv_frame(thread, timeout=300.0) is not None:
-                serve_body(thread, framed, 200, content)
+            frame = yield from framed.recv_frame(thread, timeout=300.0)
+            if frame is not None:
+                yield from serve_body(thread, framed, 200, content)
         net.sim.spawn(serve, name="serve")
 
     def host_main(thread):
         service = HiddenService(host, handler)
-        service.establish(thread)
+        yield from service.establish(thread)
         shared["onion"] = str(service.onion_address)
 
     net.sim.run_until_done(net.sim.spawn(host_main, name="host"))
@@ -60,18 +64,19 @@ def run_without_balancer(content):
     times = {}
 
     def visitor(thread, index):
-        thread.sleep(index * 1.0)
+        yield Sleep(index * 1.0)
         client = net.create_client(f"visitor{index}")
         started = net.sim.now
-        circuit = client.connect_to_hidden_service(thread, shared["onion"])
-        stream = circuit.open_stream(thread, "", 80)
+        circuit = yield from client.connect_to_hidden_service(
+            thread, shared["onion"])
+        stream = yield from circuit.open_stream(thread, "", 80)
         framed = FramedStream(stream)
-        fetch(thread, framed, "/")
+        yield from fetch(thread, framed, "/")
         circuit.close()
         times[index] = net.sim.now - started
 
     for i in range(N_CLIENTS):
-        net.sim.spawn(lambda t, i=i: visitor(t, i), name=f"v{i}")
+        net.sim.spawn(functools.partial(visitor, index=i), name=f"v{i}")
     net.sim.run()
     net.sim.check_failures()
     return times
@@ -83,33 +88,36 @@ def run_with_balancer(content):
     shared = {}
 
     def op_main(thread):
-        session = operator.connect(thread, operator.pick_box())
-        session.request_image(thread, "python")
-        session.load_function(thread, LoadBalancerFunction.SOURCE,
-                              LoadBalancerFunction.manifest(image="python"))
-        shared["onion"] = LoadBalancerFunction.start(
+        session = yield from operator.connect(thread, operator.pick_box())
+        yield from session.request_image(thread, "python")
+        yield from session.load_function(
+            thread, LoadBalancerFunction.SOURCE,
+            LoadBalancerFunction.manifest(image="python"))
+        shared["onion"] = yield from LoadBalancerFunction.start(
             thread, session, content, high_water=2, low_water=1,
             max_replicas=3, duration_s=120.0, poll_interval=2.0,
             replica_image="python")
         from repro.core import messages
 
-        shared["stats"] = session._await(thread, messages.DONE,
-                                         timeout=400.0)["result"]
+        done = yield from session._await(thread, messages.DONE,
+                                         timeout=400.0)
+        shared["stats"] = done["result"]
 
     times = {}
 
     def visitor(thread, index):
         while "onion" not in shared:
-            thread.sleep(0.5)
-        thread.sleep(index * 1.0)
+            yield Sleep(0.5)
+        yield Sleep(index * 1.0)
         client = net.create_client(f"visitor{index}")
-        _body, elapsed = LoadBalancerFunction.download(thread, client,
-                                                       shared["onion"])
+        _body, elapsed = yield from LoadBalancerFunction.download(
+            thread, client, shared["onion"])
         times[index] = elapsed
 
     op_thread = net.sim.spawn(op_main, name="operator")
     for i in range(N_CLIENTS):
-        net.sim.spawn(lambda t, i=i: visitor(t, i), name=f"v{i}", delay=5.0)
+        net.sim.spawn(functools.partial(visitor, index=i), name=f"v{i}",
+                      delay=5.0)
     net.sim.run_until_done(op_thread)
     net.sim.check_failures()
     return times, shared["stats"]

@@ -18,10 +18,11 @@ HELLO_FUNCTION = """
 import zlib
 
 def greet(name, repeat):
-    api.log("greeting " + name)
+    yield from api.log("greeting " + name)
     message = ("Hello, %s! " % name) * repeat
-    api.storage.put("/greeting.z", zlib.compress(message.encode()))
-    api.send(api.storage.get("/greeting.z"))
+    yield from api.storage.put("/greeting.z", zlib.compress(message.encode()))
+    stored = yield from api.storage.get("/greeting.z")
+    yield from api.send(stored)
     return len(message)
 """
 
@@ -42,14 +43,15 @@ def main() -> None:
         box = alice.pick_box()
         print(f"alice picked Bento box {box.nickname} "
               f"(policy port {box.bento_port})")
-        session = alice.connect(thread, box)          # circuit ends at box
+        session = yield from alice.connect(thread, box)   # ends at box
 
-        policy = session.query_policy(thread)
+        policy = yield from session.query_policy(thread)
         print(f"middlebox node policy offers images: {policy.offered_images}")
 
         # Provision the SGX image; the attestation report is verified
         # against the known runtime measurement before any upload.
-        session.request_image(thread, "python-op-sgx", verify="stapled")
+        yield from session.request_image(thread, "python-op-sgx",
+                                         verify="stapled")
         print(f"attested enclave measurement "
               f"{session.report.quote.measurement[:16]}..., "
               f"TCB status {session.report.status}")
@@ -58,16 +60,16 @@ def main() -> None:
             name="greet", entry="greet",
             api_calls={"send", "log", "storage.put", "storage.get"},
             image="python-op-sgx", disk_bytes=1_000_000)
-        session.load_function(thread, HELLO_FUNCTION, manifest)
+        yield from session.load_function(thread, HELLO_FUNCTION, manifest)
         print("function uploaded over the attested channel")
 
-        result = session.invoke(thread, ["world", 3])
-        compressed = session.next_output(thread)
+        result = yield from session.invoke(thread, ["world", 3])
+        compressed = yield from session.next_output(thread)
         import zlib
 
         print(f"function returned {result}; output decompresses to: "
               f"{zlib.decompress(compressed).decode()!r}")
-        session.shutdown(thread)
+        yield from session.shutdown(thread)
         session.close()
         print(f"shut down; simulated time elapsed: {net.sim.now:.2f}s")
 

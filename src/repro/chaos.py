@@ -21,6 +21,7 @@ compares across runs and the ``chaos-soak`` CLI scenario prints.
 
 from __future__ import annotations
 
+import functools
 import json
 from collections import Counter
 
@@ -31,7 +32,7 @@ from repro.enclave.attestation import IntelAttestationService
 from repro.functions.loadbalancer import LoadBalancerFunction
 from repro.functions.shard import ShardFunction
 from repro.netsim.faults import FaultPlane
-from repro.netsim.simulator import SimThread, SimTimeoutError
+from repro.netsim.simulator import Actor, Sleep, SimTimeoutError
 from repro.obs.metrics import REGISTRY as _metrics
 from repro.obs.span import EventLog, TRACER as _obs
 from repro.perf.counters import counters as _perf
@@ -90,14 +91,14 @@ def _run_soak(seed: int, n_relays: int, n_visitors: int,
 
     # -- the Shard owner: scatter early, gather after the storm ------------
 
-    def shard_owner(thread: SimThread) -> None:
+    def shard_owner(thread: Actor):
         client = BentoClient(net.create_client("shard-owner"), ias=ias)
-        session = client.connect(thread, client.pick_box())
-        session.request_image(thread, "python")
-        session.load_function(thread, ShardFunction.SOURCE,
-                              ShardFunction.manifest())
-        metadata = ShardFunction.scatter(thread, session, payload, n=5, k=3,
-                                         name="soak")
+        session = yield from client.connect(thread, client.pick_box())
+        yield from session.request_image(thread, "python")
+        yield from session.load_function(thread, ShardFunction.SOURCE,
+                                         ShardFunction.manifest())
+        metadata = yield from ShardFunction.scatter(thread, session, payload,
+                                                    n=5, k=3, name="soak")
         session.close()
         shared["metadata"] = metadata
         say("scatter complete: " + ", ".join(
@@ -105,18 +106,18 @@ def _run_soak(seed: int, n_relays: int, n_visitors: int,
         # Wait out the storm: the LB finishing is the last scheduled act.
         while "lb_stats" not in shared or \
                 shared["visitors_done"] < n_visitors:
-            thread.sleep(5.0)
+            yield Sleep(5.0)
         gatherer = BentoClient(net.create_client("gatherer"), ias=ias)
-        restored = ShardFunction.gather(thread, gatherer, metadata,
-                                        timeout=90.0)
+        restored = yield from ShardFunction.gather(thread, gatherer, metadata,
+                                                   timeout=90.0)
         shared["shard_ok"] = restored == payload
         say(f"gather complete, bit-identical={shared['shard_ok']}")
 
     # -- the LoadBalancer operator -----------------------------------------
 
-    def lb_operator(thread: SimThread) -> None:
+    def lb_operator(thread: Actor):
         while "metadata" not in shared:
-            thread.sleep(1.0)
+            yield Sleep(1.0)
         placed = {p["box_fp"] for p in shared["metadata"]["placements"]}
         client = BentoClient(net.create_client("lb-operator"), ias=ias)
         candidates = [b for b in client.discover_boxes()
@@ -124,11 +125,12 @@ def _run_soak(seed: int, n_relays: int, n_visitors: int,
         box = client.rng.choice(candidates) if candidates else \
             client.pick_box()
         shared["lb_node"] = fp_to_node[box.identity_fp]
-        session = client.connect(thread, box)
-        session.request_image(thread, "python")
-        session.load_function(thread, LoadBalancerFunction.SOURCE,
-                              LoadBalancerFunction.manifest(image="python"))
-        onion = LoadBalancerFunction.start(
+        session = yield from client.connect(thread, box)
+        yield from session.request_image(thread, "python")
+        yield from session.load_function(
+            thread, LoadBalancerFunction.SOURCE,
+            LoadBalancerFunction.manifest(image="python"))
+        onion = yield from LoadBalancerFunction.start(
             thread, session, content, high_water=1, low_water=1,
             max_replicas=2, duration_s=LB_DURATION_S, poll_interval=2.0,
             replica_image="python", announce=True)
@@ -143,15 +145,15 @@ def _run_soak(seed: int, n_relays: int, n_visitors: int,
             if stats is not None:
                 break
             try:
-                out = session.next_output(thread, timeout=20.0)
+                out = yield from session.next_output(thread, timeout=20.0)
             except SimTimeoutError:
                 continue
             except RETRYABLE_ERRORS:
                 # Transport died mid-soak: reconnect and reattach.
                 for attempt in range(5):
-                    thread.sleep(2.0 * (attempt + 1))
+                    yield Sleep(2.0 * (attempt + 1))
                     try:
-                        session.reconnect(thread)
+                        yield from session.reconnect(thread)
                         break
                     except RETRYABLE_ERRORS:
                         continue
@@ -183,22 +185,23 @@ def _run_soak(seed: int, n_relays: int, n_visitors: int,
 
     # -- visitors: the client requests that must all recover ---------------
 
-    def visitor(thread: SimThread, index: int) -> None:
+    def visitor(thread: Actor, index: int):
         while "onion" not in shared:
-            thread.sleep(1.0)
+            yield Sleep(1.0)
         shared["attempted"] += 1
         client = BentoClient(net.create_client(f"chaos-visitor{index}"),
                              ias=ias)
 
-        def download() -> bool:
-            body, _elapsed = LoadBalancerFunction.download(
+        def download():
+            body, _elapsed = yield from LoadBalancerFunction.download(
                 thread, client.tor, shared["onion"], timeout=60.0)
             if body != content:
                 raise ConnectionError("content mismatch")
             return True
 
         try:
-            client.retrying(thread, download, attempts=6, backoff_s=2.0)
+            yield from client.retrying(thread, download, attempts=6,
+                                       backoff_s=2.0)
             shared["recovered"] += 1
             say(f"visitor{index} recovered its download")
         except RETRYABLE_ERRORS as exc:
@@ -221,9 +224,9 @@ def _run_soak(seed: int, n_relays: int, n_visitors: int,
                     nodes.append(server.node.name)
         return nodes
 
-    def director(thread: SimThread) -> None:
+    def director(thread: Actor):
         while "metadata" not in shared or "onion" not in shared:
-            thread.sleep(1.0)
+            yield Sleep(1.0)
         placement_nodes = [fp_to_node[p["box_fp"]]
                            for p in shared["metadata"]["placements"]]
         # Background noise: one plain-relay crash (it restarts), plus a
@@ -240,7 +243,7 @@ def _run_soak(seed: int, n_relays: int, n_visitors: int,
         # Wait for the LB to scale up, then kill a replica's box for good.
         deadline = net.sim.now + 200.0
         while not live_replica_nodes() and net.sim.now < deadline:
-            thread.sleep(2.0)
+            yield Sleep(2.0)
         if live_replica_nodes():
             victim = live_replica_nodes()[0]
             plane.crash_node(victim)
@@ -251,7 +254,7 @@ def _run_soak(seed: int, n_relays: int, n_visitors: int,
             while net.sim.now < deadline and not [
                     n for n in live_replica_nodes()
                     if n not in shared["crashed"]]:
-                thread.sleep(2.0)
+                yield Sleep(2.0)
             say("replicas now on " + ",".join(live_replica_nodes()))
         # Finally, kill shard placement boxes — at most n-k of them, and
         # never the LB box or a box currently hosting a replica.
@@ -275,8 +278,8 @@ def _run_soak(seed: int, n_relays: int, n_visitors: int,
             delay = 20.0 + 3.0 * index
         else:
             delay = 110.0 + 12.0 * index
-        net.sim.spawn(lambda t, i=index: visitor(t, i), name=f"visitor{index}",
-                      delay=delay)
+        net.sim.spawn(functools.partial(visitor, index=index),
+                      name=f"visitor{index}", delay=delay)
     net.sim.spawn(director, name="director", delay=30.0)
 
     net.sim.run_until_done(shard_thread, until=SOAK_DEADLINE_S)

@@ -23,19 +23,20 @@ def _scenario_quickstart(seed: int) -> None:
         BentoServer(relay, net.authority, ias=ias)
     client = BentoClient(net.create_client("you"), ias=ias)
     code = ("def hello(who):\n"
-            "    api.send(('hello, ' + who).encode())\n"
+            "    yield from api.send(('hello, ' + who).encode())\n"
             "    return len(who)\n")
 
     def flow(thread):
         """The scripted Bento session this scenario runs."""
-        session = client.connect(thread, client.pick_box())
-        session.request_image(thread, "python-op-sgx")
-        session.load_function(thread, code, FunctionManifest.create(
+        session = yield from client.connect(thread, client.pick_box())
+        yield from session.request_image(thread, "python-op-sgx")
+        yield from session.load_function(thread, code, FunctionManifest.create(
             "hello", "hello", {"send"}, image="python-op-sgx"))
-        result = session.invoke(thread, ["bento"])
-        print(f"function said: {session.next_output(thread).decode()!r} "
+        result = yield from session.invoke(thread, ["bento"])
+        output = yield from session.next_output(thread)
+        print(f"function said: {output.decode()!r} "
               f"(returned {result})")
-        session.shutdown(thread)
+        yield from session.shutdown(thread)
         session.close()
 
     net.sim.run_until_done(net.sim.spawn(flow))

@@ -15,18 +15,38 @@ sandbox").  Every method:
 
 A function killed by the sandbox (or shut down by its owner) sees
 :class:`FunctionKilled` from its next API call.
+
+Blocking API methods are written as generators (the task-kernel style):
+coroutine function code delegates to them with ``yield from``, while
+legacy plain-callable functions keep calling them synchronously — the
+:func:`_api_blocking` dispatcher resolves the executing actor from the
+api's own context (the current :class:`SimTask`, or the sim-thread bound
+via thread-local state) because sandboxed code calls ``api.recv()`` with
+no thread argument in sight.
 """
 
 from __future__ import annotations
 
+import functools
 import threading
-from typing import Any, Optional
+from types import GeneratorType
+from typing import Any, Callable, Optional
 
 from repro.core.apispec import API_SYSCALLS
 from repro.core.errors import BentoError
 from repro.netsim.bytestream import DirectByteStream
 from repro.netsim.http import HttpResponse, http_get
-from repro.netsim.simulator import Future, SimThread
+from repro.netsim.simulator import (
+    Actor,
+    Future,
+    Join,
+    Sleep,
+    SimTask,
+    SimThread,
+    Wait,
+    _drive_blocking,
+    _drive_inline,
+)
 from repro.obs.span import TRACER as _obs
 from repro.sandbox.seccomp import SeccompViolation
 from repro.util.errors import ReproError
@@ -45,6 +65,31 @@ class FunctionKilled(ReproError):
     """The sandbox or the owner terminated this function."""
 
 
+def _api_blocking(fn: Callable) -> Callable:
+    """Context-dispatched :func:`repro.netsim.simulator.blocking`.
+
+    API methods take no actor argument — sandboxed code just calls
+    ``api.recv()`` — so the dispatcher asks the api object which actor is
+    executing: the simulator's current :class:`SimTask` (coroutine
+    functions), the sim-thread bound in thread-local state (legacy
+    functions), or nothing at all (event-handler context, where the
+    generator runs inline and must not suspend).
+    """
+
+    @functools.wraps(fn)
+    def wrapper(self: Any, *args: Any, **kwargs: Any) -> Any:
+        gen = fn(self, *args, **kwargs)
+        actor = getattr(self, "_api", self)._thread
+        if actor is None:
+            return _drive_inline(gen)
+        if isinstance(actor, SimThread) and not actor._driving:
+            return _drive_blocking(actor, gen)
+        return gen
+
+    wrapper._blocking_inner = fn
+    return wrapper
+
+
 class SandboxedStream:
     """A byte stream handed to a function, gated and byte-accounted.
 
@@ -58,17 +103,19 @@ class SandboxedStream:
         self._stream = stream
         self._gate_name = gate
 
+    @_api_blocking
     def send(self, data: bytes) -> None:
         """Send bytes to the peer."""
-        self._api._gate(self._gate_name)
-        self._api._charge_network(len(data))
+        yield from self._api._gate(self._gate_name)
+        yield from self._api._charge_network(len(data))
         self._stream.send(data)
 
+    @_api_blocking
     def recv(self, timeout: Optional[float] = None) -> bytes:
         """Block until the next chunk arrives; b'' at EOF."""
-        self._api._gate(self._gate_name)
-        data = self._stream.recv(self._api._thread, timeout=timeout)
-        self._api._charge_network(len(data))
+        yield from self._api._gate(self._gate_name)
+        data = yield from self._stream.recv(self._api._thread, timeout=timeout)
+        yield from self._api._charge_network(len(data))
         return data
 
     def close(self) -> None:
@@ -83,14 +130,15 @@ class HttpSessionApi:
         self._api = api
         self._framed = framed
 
+    @_api_blocking
     def get(self, path: str, timeout: float = 600.0) -> HttpResponse:
         """One GET on the persistent connection."""
-        self._api._gate("http_get")
+        yield from self._api._gate("http_get")
         from repro.netsim.http import fetch
 
-        response = fetch(self._api._thread, self._framed, path,
-                         timeout=timeout)
-        self._api._charge_network(len(response.body))
+        response = yield from fetch(self._api._thread, self._framed, path,
+                                    timeout=timeout)
+        yield from self._api._charge_network(len(response.body))
         return response
 
     def close(self) -> None:
@@ -110,9 +158,10 @@ class StorageApi:
             return instance.conclave.fs
         return instance.container.fs
 
+    @_api_blocking
     def put(self, path: str, data: bytes) -> None:
         """Write a file (charged against the disk quota)."""
-        self._api._gate("storage.put")
+        yield from self._api._gate("storage.put")
         instance = self._api._instance
         fs = self._fs()
         current = 0
@@ -125,19 +174,22 @@ class StorageApi:
         if delta < 0:
             instance.container.cgroup.charge("disk", delta)
 
+    @_api_blocking
     def get(self, path: str) -> bytes:
         """Read a file."""
-        self._api._gate("storage.get")
+        yield from self._api._gate("storage.get")
         return self._fs().read_file(path)
 
+    @_api_blocking
     def list(self, path: str = "/") -> list[str]:
         """All file paths under ``path``."""
-        self._api._gate("storage.list")
+        yield from self._api._gate("storage.list")
         return self._fs().walk_files(path)
 
+    @_api_blocking
     def delete(self, path: str) -> None:
         """Remove a file (releases quota)."""
-        self._api._gate("storage.delete")
+        yield from self._api._gate("storage.delete")
         instance = self._api._instance
         fs = self._fs()
         size = fs.file_size(path) if fs.exists(path) else 0
@@ -145,9 +197,10 @@ class StorageApi:
         if size:
             instance.container.cgroup.charge("disk", -size)
 
+    @_api_blocking
     def exists(self, path: str) -> bool:
         """Does a file exist?  (Gated as a read.)"""
-        self._api._gate("storage.get")
+        yield from self._api._gate("storage.get")
         return self._fs().exists(path)
 
 
@@ -160,38 +213,45 @@ class StemApi:
     def _firewall(self):
         return self._api._instance.firewall
 
+    @_api_blocking
     def new_circuit(self, **kwargs) -> str:
         """Mediated :meth:`Controller.new_circuit`."""
-        self._api._gate("stem.new_circuit")
-        return self._firewall().new_circuit(self._api._thread, **kwargs)
+        yield from self._api._gate("stem.new_circuit")
+        return (yield from self._firewall().new_circuit(
+            self._api._thread, **kwargs))
 
+    @_api_blocking
     def close_circuit(self, circuit_id: str) -> None:
         """Mediated circuit teardown (ownership enforced)."""
-        self._api._gate("stem.close_circuit")
+        yield from self._api._gate("stem.close_circuit")
         self._firewall().close_circuit(circuit_id)
 
+    @_api_blocking
     def attach_stream(self, circuit_id: str, host: str, port: int):
         """Mediated stream attach (ownership enforced)."""
-        self._api._gate("stem.attach_stream")
-        return self._firewall().attach_stream(self._api._thread, circuit_id,
-                                              host, port)
+        yield from self._api._gate("stem.attach_stream")
+        return (yield from self._firewall().attach_stream(
+            self._api._thread, circuit_id, host, port))
 
+    @_api_blocking
     def get_network_statuses(self):
         """Mediated consensus listing."""
-        self._api._gate("stem.get_network_statuses")
+        yield from self._api._gate("stem.get_network_statuses")
         return self._firewall().get_network_statuses()
 
+    @_api_blocking
     def get_info(self, key: str):
         """Mediated GETINFO."""
-        self._api._gate("stem.get_info")
+        yield from self._api._gate("stem.get_info")
         return self._firewall().get_info(key)
 
+    @_api_blocking
     def create_hidden_service(self, handler, n_intro: int = 3,
                               key_material: Optional[dict] = None,
                               establish: bool = True,
                               manual_introductions: bool = False):
         """Host a hidden service.  ``handler(stream, host, port)`` runs in
-        its own thread per accepted stream, with the stream gated and
+        its own actor per accepted stream, with the stream gated and
         byte-accounted like any other function I/O.
 
         ``key_material`` (from ``service.export_key_material()``) clones an
@@ -199,96 +259,117 @@ class StemApi:
         replica endpoint; ``manual_introductions=True`` queues
         introductions for :meth:`wait_introduction`.
         """
-        self._api._gate("stem.create_hidden_service")
+        yield from self._api._gate("stem.create_hidden_service")
         api = self._api
         sim = api._instance.server.sim
 
         wrapped = None
         if handler is not None:
+            import inspect as _inspect
+            handler_is_task = _inspect.isgeneratorfunction(handler)
+
             def wrapped(stream, host, port):  # noqa: ANN001 - duck-typed
-                """Per-stream wrapper: serve each accepted stream in a thread."""
-                def _serve(thread):
-                    api._bind(thread, None)
-                    handler(SandboxedStream(api, stream,
-                                            gate="stem.create_hidden_service"),
-                            host, port)
+                """Per-stream wrapper: serve each accepted stream in an actor."""
+                sandboxed = SandboxedStream(
+                    api, stream, gate="stem.create_hidden_service")
+                if handler_is_task:
+                    def _serve(task):
+                        api._bind(task, None)
+                        try:
+                            yield from handler(sandboxed, host, port)
+                        finally:
+                            api._unbind(task)
+                else:
+                    def _serve(thread):
+                        api._bind(thread, None)
+                        handler(sandboxed, host, port)
                 sim.spawn(_serve, name=f"fn-hs:{api._instance.instance_id}")
 
         keypair = None
         if key_material is not None:
             from repro.crypto.rsa import RsaKeyPair
             keypair = RsaKeyPair.from_parts(key_material)
-        return self._firewall().create_hidden_service(
+        return (yield from self._firewall().create_hidden_service(
             self._api._thread, wrapped, n_intro=n_intro, keypair=keypair,
-            establish=establish, manual_introductions=manual_introductions)
+            establish=establish, manual_introductions=manual_introductions))
 
+    @_api_blocking
     def wait_introduction(self, service, timeout: Optional[float] = None) -> dict:
         """Next queued introduction on a manual-mode service."""
-        self._api._gate("stem.hs_wait_introduction")
-        return self._firewall().hs_wait_introduction(
-            self._api._thread, service, timeout=timeout)
+        yield from self._api._gate("stem.hs_wait_introduction")
+        return (yield from self._firewall().hs_wait_introduction(
+            self._api._thread, service, timeout=timeout))
 
+    @_api_blocking
     def complete_rendezvous(self, service, request: dict, wait: bool = True):
         """Answer one introduction from this node (LoadBalancer replicas).
 
         ``wait=False`` runs the rendezvous-circuit construction in its own
-        thread so a dispatcher can keep serving other clients — the same
+        actor so a dispatcher can keep serving other clients — the same
         concurrency an unmodified hidden service gets for free.
         """
-        self._api._gate("stem.hs_complete_rendezvous")
+        yield from self._api._gate("stem.hs_complete_rendezvous")
         if wait:
-            return self._firewall().hs_complete_rendezvous(
-                self._api._thread, service, request)
+            return (yield from self._firewall().hs_complete_rendezvous(
+                self._api._thread, service, request))
         api = self._api
         firewall = self._firewall()
         sim = api._instance.server.sim
 
-        def _worker(thread):
+        def _worker(task):
             from repro.netsim.connection import ConnectionClosed
             from repro.netsim.network import NetworkError
             from repro.netsim.simulator import SimTimeoutError
             from repro.tor.circuit import CircuitDestroyed
             from repro.tor.client import TorError
 
-            api._bind(thread, None)
+            api._bind(task, None)
             try:
-                firewall.hs_complete_rendezvous(thread, service, request)
+                yield from firewall.hs_complete_rendezvous(task, service,
+                                                           request)
             except (TorError, NetworkError, SimTimeoutError,
                     CircuitDestroyed, ConnectionClosed) as exc:
                 # Fire-and-forget: the client retries through a fresh
                 # rendezvous; a dead relay here must not kill the host.
                 api._instance.logs.append(
                     f"rendezvous abandoned: {exc}")
+            finally:
+                api._unbind(task)
 
         sim.spawn(_worker, name=f"rend:{api._instance.instance_id}")
         return None
 
+    @_api_blocking
     def remove_hidden_service(self, onion_address: str) -> None:
         """Mediated hidden-service removal (ownership enforced)."""
-        self._api._gate("stem.remove_hidden_service")
+        yield from self._api._gate("stem.remove_hidden_service")
         self._firewall().remove_hidden_service(onion_address)
 
+    @_api_blocking
     def connect_to_hidden_service(self, onion_address: str):
         """Mediated client-side rendezvous."""
-        self._api._gate("stem.connect_to_hidden_service")
-        return self._firewall().connect_to_hidden_service(
-            self._api._thread, onion_address)
+        yield from self._api._gate("stem.connect_to_hidden_service")
+        return (yield from self._firewall().connect_to_hidden_service(
+            self._api._thread, onion_address))
 
+    @_api_blocking
     def send_padding(self, circuit_id: str, hop_index: Optional[int] = None,
                      payload: bytes = b"") -> None:
         """Mediated RELAY_DROP injection (ownership enforced)."""
-        self._api._gate("stem.send_padding")
+        yield from self._api._gate("stem.send_padding")
         self._firewall().send_padding(circuit_id, hop_index=hop_index,
                                       payload=payload)
 
+    @_api_blocking
     def fetch(self, circuit_id: str, url: str, offset: Optional[int] = None,
               length: Optional[int] = None, timeout: float = 600.0) -> dict:
         """An HTTP(S) GET (optionally ranged) through an owned circuit."""
-        self._api._gate("stem.fetch")
-        return self._firewall().fetch(self._api._thread, circuit_id, url,
-                                      offset=offset, length=length,
-                                      timeout=timeout)
+        yield from self._api._gate("stem.fetch")
+        return (yield from self._firewall().fetch(
+            self._api._thread, circuit_id, url, offset=offset, length=length,
+            timeout=timeout))
 
+    @_api_blocking
     def fetch_begin(self, circuit_id: str, url: str,
                     offset: Optional[int] = None,
                     length: Optional[int] = None,
@@ -298,22 +379,27 @@ class StemApi:
         This is how the multipath function overlaps transfers on several
         circuits from single-threaded function code.
         """
-        self._api._gate("stem.fetch")
+        yield from self._api._gate("stem.fetch")
         api = self._api
         firewall = self._firewall()
         sim = api._instance.server.sim
 
-        def _worker(thread):
-            api._bind(thread, None)
-            return firewall.fetch(thread, circuit_id, url, offset=offset,
-                                  length=length, timeout=timeout)
+        def _worker(task):
+            api._bind(task, None)
+            try:
+                return (yield from firewall.fetch(
+                    task, circuit_id, url, offset=offset, length=length,
+                    timeout=timeout))
+            finally:
+                api._unbind(task)
 
         return sim.spawn(_worker, name=f"fetch:{api._instance.instance_id}")
 
+    @_api_blocking
     def fetch_join(self, handle, timeout: float = 600.0) -> dict:
         """Wait for a :meth:`fetch_begin` transfer and return its result."""
-        self._api._gate("stem.fetch")
-        return self._api._thread.join(handle, timeout=timeout)
+        yield from self._api._gate("stem.fetch")
+        return (yield Join(handle, timeout))
 
 
 class FunctionApi:
@@ -321,10 +407,12 @@ class FunctionApi:
 
     def __init__(self, instance) -> None:
         self._instance = instance
-        # Per-OS-thread state: each sim-thread (the entry invocation plus
-        # any hidden-service handler threads) binds itself here, so
-        # concurrent handlers never clobber each other's context.
+        # Per-actor state.  Legacy sim-threads bind themselves in
+        # thread-local storage (each is a real OS thread); coroutine tasks
+        # all share one OS thread, so their context lives in a dict keyed
+        # by task, populated by _bind and cleared by _unbind.
         self._tls = threading.local()
+        self._task_peer: dict[SimTask, Any] = {}
         self._inbox: list[tuple[bytes, Any]] = []
         self._recv_waiter: Optional[Future] = None
         self._killed = False
@@ -339,20 +427,39 @@ class FunctionApi:
     #    but Python has no private: "we are all responsible users") ----------
 
     @property
-    def _thread(self) -> Optional[SimThread]:
+    def _thread(self) -> Optional[Actor]:
+        task = self._instance.server.sim._current_task
+        if task is not None:
+            return task
         return getattr(self._tls, "thread", None)
 
     @property
     def _current_peer(self):
+        task = self._instance.server.sim._current_task
+        if task is not None:
+            return self._task_peer.get(task)
         return getattr(self._tls, "peer", None)
 
     @_current_peer.setter
     def _current_peer(self, peer) -> None:
-        self._tls.peer = peer
+        task = self._instance.server.sim._current_task
+        if task is not None:
+            self._task_peer[task] = peer
+        else:
+            self._tls.peer = peer
 
-    def _bind(self, thread: SimThread, peer) -> None:
-        self._tls.thread = thread
-        self._tls.peer = peer
+    def _bind(self, actor: Actor, peer) -> None:
+        if isinstance(actor, SimTask):
+            self._task_peer[actor] = peer
+        else:
+            self._tls.thread = actor
+            self._tls.peer = peer
+
+    def _unbind(self, actor: Actor) -> None:
+        """Release a task's context entry (tasks outnumber OS threads by
+        orders of magnitude at scale; the dict must not grow unboundedly)."""
+        if isinstance(actor, SimTask):
+            self._task_peer.pop(actor, None)
 
     def _push_message(self, payload: bytes, peer) -> None:
         self._inbox.append((payload, peer))
@@ -365,7 +472,7 @@ class FunctionApi:
         if self._recv_waiter is not None and not self._recv_waiter.done:
             self._recv_waiter.reject(FunctionKilled(reason))
 
-    def _gate(self, call_name: str) -> None:
+    def _gate(self, call_name: str):
         """The enforcement choke point every API call passes through."""
         if self._killed:
             raise FunctionKilled(self._kill_reason or "function terminated")
@@ -383,88 +490,102 @@ class FunctionApi:
         if instance.conclave is not None and self._thread is not None:
             cost = instance.conclave.invoke_cost()
             if cost > 0:
-                self._thread.sleep(cost)
+                yield Sleep(cost)
         plane = instance.server.qos
         if plane is not None:
             # Meter this call against the instance's weighted-fair cpu
             # share; the plane sleeps out any pacing delay right here, at
             # the gate — never on the per-byte transfer path.
-            plane.charge_cpu(self._thread, instance, _QOS_CALL_COST_MS)
+            paced = plane.charge_cpu(self._thread, instance,
+                                     _QOS_CALL_COST_MS)
+            if isinstance(paced, GeneratorType):
+                yield from paced
 
-    def _charge_network(self, nbytes: int) -> None:
+    def _charge_network(self, nbytes: int):
         """Byte-account one transfer: cgroup charge plus fair-share pacing."""
         instance = self._instance
         instance.container.charge_network(nbytes)
         plane = instance.server.qos
         if plane is not None:
-            plane.charge_net(self._thread, instance, nbytes)
+            paced = plane.charge_net(self._thread, instance, nbytes)
+            if isinstance(paced, GeneratorType):
+                yield from paced
 
     # -- talking to the client ----------------------------------------------
 
+    @_api_blocking
     def send(self, payload: bytes) -> None:
         """Deliver bytes to the client who sent the message being handled."""
-        self._gate("send")
+        yield from self._gate("send")
         from repro.core import messages  # late import avoids a cycle
 
         peer = self._current_peer
         if peer is None:
             raise ApiError("no client attached to send to")
-        self._charge_network(len(payload))
+        yield from self._charge_network(len(payload))
         try:
             peer.send_frame(messages.encode_message(
                 messages.OUTPUT, payload=bytes(payload)))
         except Exception:
             pass  # client went away; outputs are best-effort
 
+    @_api_blocking
     def recv(self, timeout: Optional[float] = None) -> bytes:
         """Block until the next client message arrives."""
-        self._gate("recv")
+        yield from self._gate("recv")
         while not self._inbox:
             self._recv_waiter = Future(self._instance.server.sim)
-            self._thread.wait(self._recv_waiter, timeout=timeout)
+            yield Wait(self._recv_waiter, timeout)
             self._recv_waiter = None
         payload, peer = self._inbox.pop(0)
         self._current_peer = peer
         return payload
 
+    @_api_blocking
     def log(self, message: str) -> None:
         """Append to the function's log (visible to the function owner)."""
-        self._gate("log")
+        yield from self._gate("log")
         self._instance.logs.append(f"[{self._instance.server.sim.now:.3f}] {message}")
 
     # -- time and randomness -----------------------------------------------------
 
+    @_api_blocking
     def sleep(self, duration: float) -> None:
         """Sleep in simulated time."""
-        self._gate("sleep")
-        self._thread.sleep(duration)
+        yield from self._gate("sleep")
+        yield Sleep(duration)
 
+    @_api_blocking
     def time(self) -> float:
         """The current simulated time."""
-        self._gate("time")
+        yield from self._gate("time")
         return self._instance.server.sim.now
 
+    @_api_blocking
     def random_bytes(self, n: int) -> bytes:
         """Cryptographically-styled random bytes (deterministic per run)."""
-        self._gate("random")
+        yield from self._gate("random")
         return self._instance.rng.randbytes(n)
 
     # -- direct network access (the exit path) ---------------------------------------
 
+    @_api_blocking
     def http_get(self, url: str, timeout: float = 600.0) -> HttpResponse:
         """Fetch a URL directly from this Bento box (like ``requests.get``)."""
-        self._gate("http_get")
+        yield from self._gate("http_get")
         instance = self._instance
         from repro.netsim.http import parse_url
 
         parsed = parse_url(url)
         address = instance.server.network.resolve(parsed.host)
         instance.container.iptables.check(address, parsed.port)
-        response = http_get(self._thread, instance.server.network,
-                            instance.server.node, url, timeout=timeout)
-        self._charge_network(len(response.body))
+        response = yield from http_get(self._thread, instance.server.network,
+                                       instance.server.node, url,
+                                       timeout=timeout)
+        yield from self._charge_network(len(response.body))
         return response
 
+    @_api_blocking
     def http_session(self, host: str, port: int = 443,
                      timeout: float = 60.0) -> "HttpSessionApi":
         """A keep-alive HTTP session to one origin (like requests.Session).
@@ -472,11 +593,11 @@ class FunctionApi:
         One connection, many GETs — what a real web client does when
         crawling a page's subresources.
         """
-        self._gate("http_get")
+        yield from self._gate("http_get")
         instance = self._instance
         address = instance.server.network.resolve(host)
         instance.container.iptables.check(address, port)
-        conn = instance.server.network.connect_blocking(
+        conn = yield from instance.server.network.connect_blocking(
             self._thread, instance.server.node, address, port,
             handshake_rtts=2.0 if port == 443 else 1.0, timeout=timeout)
         from repro.netsim.bytestream import FramedStream
@@ -484,19 +605,22 @@ class FunctionApi:
         framed = FramedStream(DirectByteStream(conn, instance.server.node))
         return HttpSessionApi(self, framed)
 
+    @_api_blocking
     def connect(self, host: str, port: int,
                 timeout: float = 60.0) -> SandboxedStream:
         """Open a raw (direct) connection, subject to iptables rules."""
-        self._gate("connect")
+        yield from self._gate("connect")
         instance = self._instance
         address = instance.server.network.resolve(host)
         instance.container.iptables.check(address, port)
-        conn = instance.server.network.connect_blocking(
-            self._thread, instance.server.node, address, port, timeout=timeout)
+        conn = yield from instance.server.network.connect_blocking(
+            self._thread, instance.server.node, address, port,
+            timeout=timeout)
         return SandboxedStream(self, DirectByteStream(conn, instance.server.node))
 
     # -- composition: deploying functions on other Bento boxes (§3) --------------------
 
+    @_api_blocking
     def deploy(self, code: str, manifest_wire: dict,
                target_fingerprint: Optional[str] = None,
                exclude_fingerprints: Optional[list] = None,
@@ -519,7 +643,7 @@ class FunctionApi:
         (which also keeps the RNG stream — and thus fixed-seed replays —
         unchanged on networks without the plane).
         """
-        self._gate("deploy")
+        yield from self._gate("deploy")
         from repro.core.client import BentoClient
         from repro.core.manifest import FunctionManifest
 
@@ -559,12 +683,15 @@ class FunctionApi:
             function=manifest.name, direct=direct) if log is not None else None
         try:
             if direct:
-                session = client.connect_direct(self._thread, box,
-                                                timeout=timeout)
+                session = yield from client.connect_direct(self._thread, box,
+                                                           timeout=timeout)
             else:
-                session = client.connect(self._thread, box, timeout=timeout)
-            session.request_image(self._thread, manifest.image, timeout=timeout)
-            session.load_function(self._thread, code, manifest, timeout=timeout)
+                session = yield from client.connect(self._thread, box,
+                                                    timeout=timeout)
+            yield from session.request_image(self._thread, manifest.image,
+                                             timeout=timeout)
+            yield from session.load_function(self._thread, code, manifest,
+                                             timeout=timeout)
         except BaseException as exc:
             if span is not None:
                 span.end(sim.now, ok=False, error=type(exc).__name__)
@@ -582,29 +709,35 @@ class FunctionApi:
         except KeyError:
             raise ApiError(f"unknown remote handle: {handle}") from None
 
+    @_api_blocking
     def remote_invoke(self, handle: str, args: list,
                       timeout: float = 600.0) -> Any:
         """Invoke a deployed function and wait for its result."""
-        self._gate("remote_invoke")
+        yield from self._gate("remote_invoke")
         session = self._session(handle)
-        return session.invoke(self._thread, args, timeout=timeout)
+        return (yield from session.invoke(self._thread, args, timeout=timeout))
 
+    @_api_blocking
     def remote_invoke_nowait(self, handle: str, args: list) -> None:
         """Start a deployed function without waiting for it to finish
         (for long-running loops like Dropbox)."""
-        self._gate("remote_invoke")
+        yield from self._gate("remote_invoke")
         self._session(handle).invoke_nowait(args)
 
+    @_api_blocking
     def remote_send(self, handle: str, payload: bytes) -> None:
         """Send an in-band message to a deployed (running) function."""
-        self._gate("remote_send")
+        yield from self._gate("remote_send")
         self._session(handle).send_message(payload)
 
+    @_api_blocking
     def remote_recv(self, handle: str, timeout: float = 600.0) -> bytes:
         """Receive the next output from a deployed function."""
-        self._gate("remote_recv")
-        return self._session(handle).next_output(self._thread, timeout=timeout)
+        yield from self._gate("remote_recv")
+        return (yield from self._session(handle).next_output(
+            self._thread, timeout=timeout))
 
+    @_api_blocking
     def remote_info(self, handle: str) -> dict:
         """Where a deployed function lives and how to reach it.
 
@@ -612,7 +745,7 @@ class FunctionApi:
         function can hand these out — Shard returns them so the owner can
         fetch pieces directly from each Dropbox later.
         """
-        self._gate("deploy")
+        yield from self._gate("deploy")
         session = self._session(handle)
         return {
             "box_fp": session.box.identity_fp if session.box else "",
@@ -620,12 +753,13 @@ class FunctionApi:
             "invocation": session.invocation_token,
         }
 
+    @_api_blocking
     def remote_shutdown(self, handle: str, timeout: float = 120.0) -> None:
         """Shut a deployed function down (we hold its shutdown token)."""
-        self._gate("remote_shutdown")
+        yield from self._gate("remote_shutdown")
         session = self._remote_sessions.pop(handle, None)
         if session is not None:
-            session.shutdown(self._thread, timeout=timeout)
+            yield from session.shutdown(self._thread, timeout=timeout)
 
     # -- introspection for the function itself ------------------------------------
 

@@ -8,6 +8,7 @@ invoke it, and — eventually — spend the shutdown token.
 
 from __future__ import annotations
 
+from types import GeneratorType
 from typing import Any, Optional
 
 from repro.core import messages
@@ -26,7 +27,7 @@ from repro.enclave.attestation import IntelAttestationService
 from repro.netsim.bytestream import FramedStream
 from repro.netsim.connection import ConnectionClosed
 from repro.netsim.network import NetworkError
-from repro.netsim.simulator import SimThread, SimTimeoutError
+from repro.netsim.simulator import Actor, Sleep, SimTimeoutError, blocking
 from repro.obs.metrics import REGISTRY as _metrics
 from repro.obs.span import TRACER as _obs
 from repro.perf.counters import counters as _perf
@@ -108,7 +109,8 @@ class BentoClient:
 
     # -- connection -------------------------------------------------------------
 
-    def connect(self, thread: SimThread, box: RelayDescriptor,
+    @blocking
+    def connect(self, thread: Actor, box: RelayDescriptor,
                 circuit: Optional[Circuit] = None,
                 timeout: float = 240.0) -> "BentoSession":
         """Open a session over Tor: circuit ending at the box, stream to
@@ -119,8 +121,8 @@ class BentoClient:
             if pooled is not None and not pooled.destroyed:
                 _HIT_CIRCUIT.value += 1
                 try:
-                    stream = pooled.open_stream(thread, box.address,
-                                                box.bento_port, timeout=timeout)
+                    stream = yield from pooled.open_stream(
+                        thread, box.address, box.bento_port, timeout=timeout)
                 except RETRYABLE_ERRORS:
                     # The pooled circuit died under us; evict and fall
                     # through to a fresh build.
@@ -133,17 +135,19 @@ class BentoClient:
             else:
                 _MISS_CIRCUIT.value += 1
         if circuit is None:
-            circuit = self.tor.build_circuit(thread, final_hop=box,
-                                             timeout=timeout)
+            circuit = yield from self.tor.build_circuit(thread, final_hop=box,
+                                                        timeout=timeout)
             if self.reuse_circuits:
                 self._circuit_pool[box.identity_fp] = circuit
                 own_circuit = False
-        stream = circuit.open_stream(thread, box.address, box.bento_port,
-                                     timeout=timeout)
+        stream = yield from circuit.open_stream(thread, box.address,
+                                                box.bento_port,
+                                                timeout=timeout)
         return BentoSession(self, FramedStream(stream), circuit,
                             close_circuit=own_circuit, box=box)
 
-    def connect_direct(self, thread: SimThread, box: RelayDescriptor,
+    @blocking
+    def connect_direct(self, thread: Actor, box: RelayDescriptor,
                        timeout: float = 120.0) -> "BentoSession":
         """A session over a *direct* connection (no Tor circuit).
 
@@ -154,25 +158,27 @@ class BentoClient:
         """
         from repro.netsim.bytestream import DirectByteStream
 
-        conn = self.tor.network.connect_blocking(
+        conn = yield from self.tor.network.connect_blocking(
             thread, self.tor.node, box.address, box.bento_port,
             timeout=timeout)
         framed = FramedStream(DirectByteStream(conn, self.tor.node))
         return BentoSession(self, framed, circuit=None, close_circuit=False,
                             box=box)
 
-    def connect_via_onion(self, thread: SimThread, onion_address: str,
+    @blocking
+    def connect_via_onion(self, thread: Actor, onion_address: str,
                           timeout: float = 240.0) -> "BentoSession":
         """Reach a Bento server that runs as a hidden service."""
-        circuit = self.tor.connect_to_hidden_service(thread, onion_address,
-                                                     timeout=timeout)
-        stream = circuit.open_stream(thread, "", 0, timeout=timeout)
+        circuit = yield from self.tor.connect_to_hidden_service(
+            thread, onion_address, timeout=timeout)
+        stream = yield from circuit.open_stream(thread, "", 0, timeout=timeout)
         return BentoSession(self, FramedStream(stream), circuit,
                             close_circuit=True, box=None)
 
     # -- retry ------------------------------------------------------------------
 
-    def retrying(self, thread: SimThread, op, *, attempts: int = 5,
+    @blocking
+    def retrying(self, thread: Actor, op, *, attempts: int = 5,
                  backoff_s: float = 1.0, max_backoff_s: float = 30.0,
                  session: Optional["BentoSession"] = None):
         """Run ``op()`` with seeded exponential-backoff retry.
@@ -197,18 +203,23 @@ class BentoClient:
                                 track=self.tor.node.name, attempt=attempt,
                                 error=type(last).__name__ if last else "")
                 if isinstance(last, ServerBusy) and last.retry_after > 0:
-                    thread.sleep(last.retry_after)
+                    yield Sleep(last.retry_after)
                 else:
                     delay = min(backoff_s * (2 ** (attempt - 1)), max_backoff_s)
-                    thread.sleep(delay * (0.5 + self.rng.random()))
+                    yield Sleep(delay * (0.5 + self.rng.random()))
                 if session is not None:
                     try:
-                        session.reconnect(thread)
+                        yield from session.reconnect(thread)
                     except RETRYABLE_ERRORS as exc:
                         last = exc
                         continue
             try:
-                return op()
+                # ``op`` may be a plain callable (legacy style) or one that
+                # returns a blocking generator to delegate to.
+                result = op()
+                if isinstance(result, GeneratorType):
+                    result = yield from result
+                return result
             except RETRYABLE_ERRORS as exc:
                 last = exc
         raise BentoError(
@@ -236,12 +247,14 @@ class BentoSession:
 
     # -- low-level framing ------------------------------------------------
 
-    def _request(self, thread: SimThread, frame: bytes, expect: str,
+    @blocking
+    def _request(self, thread: Actor, frame: bytes, expect: str,
                  timeout: float) -> dict:
         self.framed.send_frame(frame)
-        return self.await_message(thread, expect, timeout)
+        return (yield from self.await_message(thread, expect, timeout))
 
-    def await_message(self, thread: SimThread, expect: str,
+    @blocking
+    def await_message(self, thread: Actor, expect: str,
                       timeout: float = 600.0) -> dict:
         """Block until the server sends a message of type ``expect``.
 
@@ -255,7 +268,7 @@ class BentoSession:
             if queued["type"] == expect:
                 return self._pending.pop(index)
         while True:
-            raw = self.framed.recv_frame(thread, timeout=timeout)
+            raw = yield from self.framed.recv_frame(thread, timeout=timeout)
             if raw is None:
                 raise BentoError("Bento server closed the connection")
             message = messages.decode_message(raw)
@@ -295,15 +308,17 @@ class BentoSession:
 
     # -- protocol steps -----------------------------------------------------------
 
-    def query_policy(self, thread: SimThread,
+    @blocking
+    def query_policy(self, thread: Actor,
                      timeout: float = 120.0) -> MiddleboxNodePolicy:
         """Fetch the box's middlebox node policy (§5.5)."""
-        reply = self._request(
+        reply = yield from self._request(
             thread, messages.encode_message(messages.POLICY_QUERY),
             messages.POLICY, timeout)
         return MiddleboxNodePolicy.from_wire(reply["policy"])
 
-    def request_image(self, thread: SimThread, image: str = "python",
+    @blocking
+    def request_image(self, thread: Actor, image: str = "python",
                       verify: str = "stapled",
                       timeout: float = 240.0,
                       priority: Optional[str] = None,
@@ -327,7 +342,7 @@ class BentoSession:
             fields["priority"] = priority
         for puzzle_round in range(3):
             try:
-                reply = self._request(
+                reply = yield from self._request(
                     thread,
                     messages.encode_message(messages.REQUEST_IMAGE, **fields),
                     messages.IMAGE_READY, timeout)
@@ -358,7 +373,8 @@ class BentoSession:
                 if self.client.ias is None:
                     raise AttestationRejected("no IAS to verify with")
                 quote = Quote.from_wire(reply["quote"])
-                report = self.client.ias.verify_quote_blocking(thread, quote)
+                report = yield from self.client.ias.verify_quote_blocking(
+                    thread, quote)
                 if not report.verify(self.client.ias.public_key,
                                      expected_measurement=expected):
                     raise AttestationRejected("IAS report failed verification")
@@ -370,7 +386,8 @@ class BentoSession:
                     self.client.rng, report, self.client.ias.public_key,
                     expected)
 
-    def load_function(self, thread: SimThread, code: str,
+    @blocking
+    def load_function(self, thread: Actor, code: str,
                       manifest: FunctionManifest,
                       data: Optional[dict[str, bytes]] = None,
                       timeout: float = 240.0) -> None:
@@ -388,20 +405,22 @@ class BentoSession:
             fields["code"] = code
         if data:
             fields["data"] = dict(data)
-        self._request(thread,
-                      messages.encode_message(messages.LOAD_FUNCTION, **fields),
-                      messages.LOADED, timeout)
+        yield from self._request(
+            thread, messages.encode_message(messages.LOAD_FUNCTION, **fields),
+            messages.LOADED, timeout)
 
-    def attach(self, thread: SimThread, invocation_token: str,
+    @blocking
+    def attach(self, thread: Actor, invocation_token: str,
                timeout: float = 120.0) -> None:
         """Adopt a shared invocation token on a fresh session (§5.3:
         "a client [can] share the invocation token ... with other users")."""
         self.invocation_token = invocation_token
-        self._request(thread, messages.encode_message(
+        yield from self._request(thread, messages.encode_message(
             messages.ATTACH, token=invocation_token),
             messages.LOADED, timeout)
 
-    def invoke(self, thread: SimThread, args: list,
+    @blocking
+    def invoke(self, thread: Actor, args: list,
                timeout: float = 600.0) -> Any:
         """Run the function and wait for its return value.
 
@@ -410,7 +429,7 @@ class BentoSession:
         """
         self.framed.send_frame(messages.encode_message(
             messages.INVOKE, token=self.invocation_token, args=list(args)))
-        done = self.await_message(thread, messages.DONE, timeout)
+        done = yield from self.await_message(thread, messages.DONE, timeout)
         return done["result"]
 
     def invoke_nowait(self, args: Optional[list] = None) -> None:
@@ -424,12 +443,14 @@ class BentoSession:
         self.framed.send_frame(messages.encode_message(
             messages.MSG, token=self.invocation_token, payload=bytes(payload)))
 
-    def next_output(self, thread: SimThread, timeout: float = 600.0) -> bytes:
+    @blocking
+    def next_output(self, thread: Actor, timeout: float = 600.0) -> bytes:
         """The next api.send() payload from the function."""
-        reply = self.await_message(thread, messages.OUTPUT, timeout)
+        reply = yield from self.await_message(thread, messages.OUTPUT, timeout)
         return reply["payload"]
 
-    def reconnect(self, thread: SimThread, timeout: float = 240.0,
+    @blocking
+    def reconnect(self, thread: Actor, timeout: float = 240.0,
                   circuit_attempts: int = 3) -> None:
         """Re-establish the transport and reattach via the invocation token.
 
@@ -456,20 +477,22 @@ class BentoSession:
             # Direct session (connect_direct): redial the box.
             from repro.netsim.bytestream import DirectByteStream
 
-            conn = self.client.tor.network.connect_blocking(
+            conn = yield from self.client.tor.network.connect_blocking(
                 thread, self.client.tor.node, self.box.address,
                 self.box.bento_port, timeout=timeout)
             self.framed = FramedStream(DirectByteStream(conn, self.client.tor.node))
         else:
-            circuit = self.client.tor.build_circuit_with_retry(
+            circuit = yield from self.client.tor.build_circuit_with_retry(
                 thread, attempts=circuit_attempts, final_hop=self.box,
                 timeout=timeout)
-            stream = circuit.open_stream(thread, self.box.address,
-                                         self.box.bento_port, timeout=timeout)
+            stream = yield from circuit.open_stream(
+                thread, self.box.address, self.box.bento_port,
+                timeout=timeout)
             self.circuit = circuit
             self._close_circuit = True
             self.framed = FramedStream(stream)
-        self.attach(thread, self.invocation_token, timeout=timeout)
+        yield from self.attach(thread, self.invocation_token,
+                               timeout=timeout)
         _perf.session_reconnects += 1
         _metrics.counter("session_reconnects").value += 1
         log = _obs.log
@@ -478,11 +501,12 @@ class BentoSession:
                         track=self.client.tor.node.name,
                         box=self.box.nickname)
 
-    def shutdown(self, thread: SimThread, timeout: float = 120.0) -> None:
+    @blocking
+    def shutdown(self, thread: Actor, timeout: float = 120.0) -> None:
         """Spend the shutdown token; the container is reclaimed."""
         if self.shutdown_token is None:
             raise BentoError("no shutdown token held")
-        self._request(thread, messages.encode_message(
+        yield from self._request(thread, messages.encode_message(
             messages.SHUTDOWN, token=self.shutdown_token),
             messages.SHUTDOWN_OK, timeout)
 

@@ -12,6 +12,7 @@ itself, Bento servers run functions in sandboxes").
 from __future__ import annotations
 
 import builtins as _builtins
+import inspect
 from typing import Any, Callable, Optional
 
 from repro.core.errors import BentoError, FunctionCrashed
@@ -95,25 +96,48 @@ class FunctionRuntime:
         self.entry = entry
 
     def start(self, args: list, peer) -> None:
-        """Run one invocation in its own sim-thread."""
+        """Run one invocation in its own actor.
+
+        Generator-function entries (the coroutine style all in-tree
+        functions use) run as :class:`~repro.netsim.simulator.SimTask`\\ s;
+        plain entries keep the legacy sim-thread, where blocking api calls
+        are driven synchronously.
+        """
         if self.entry is None:
             raise LoaderError("function not loaded")
         if self.running:
             raise LoaderError("function already running")
         self.running = True
         sim = self.instance.server.sim
+        api = self.instance.api
 
-        def _run(thread) -> None:
-            api = self.instance.api
-            api._bind(thread, peer)
-            try:
-                result = self.entry(*args)
-            except BaseException as exc:  # noqa: BLE001 - reported to client
+        if inspect.isgeneratorfunction(self.entry):
+            def _run(task):
+                api._bind(task, peer)
+                try:
+                    try:
+                        result = yield from self.entry(*args)
+                    except BaseException as exc:  # noqa: BLE001 - to client
+                        self.running = False
+                        self.instance.on_error(
+                            FunctionCrashed(f"{type(exc).__name__}: {exc}"),
+                            peer)
+                        return
+                    self.running = False
+                    self.instance.on_done(result, peer)
+                finally:
+                    api._unbind(task)
+        else:
+            def _run(thread) -> None:
+                api._bind(thread, peer)
+                try:
+                    result = self.entry(*args)
+                except BaseException as exc:  # noqa: BLE001 - to client
+                    self.running = False
+                    self.instance.on_error(
+                        FunctionCrashed(f"{type(exc).__name__}: {exc}"), peer)
+                    return
                 self.running = False
-                self.instance.on_error(
-                    FunctionCrashed(f"{type(exc).__name__}: {exc}"), peer)
-                return
-            self.running = False
-            self.instance.on_done(result, peer)
+                self.instance.on_done(result, peer)
 
         sim.spawn(_run, name=f"fn:{self.manifest.name}")

@@ -38,7 +38,7 @@ from repro.enclave.conclave import Conclave
 from repro.enclave.sgx import EnclaveHost
 from repro.netsim.bytestream import DirectByteStream, FramedStream
 from repro.netsim.connection import Connection
-from repro.netsim.simulator import SimThread
+from repro.netsim.simulator import Actor, Sleep, blocking
 from repro.obs.metrics import REGISTRY as _metrics
 from repro.obs.span import TRACER as _obs
 from repro.perf.counters import counters as _perf
@@ -273,7 +273,8 @@ class BentoServer:
         framed = FramedStream(DirectByteStream(conn, self.node))
         self.sim.spawn(self._serve, framed, name=f"bento:{self.relay.nickname}")
 
-    def serve_via_hidden_service(self, thread: SimThread,
+    @blocking
+    def serve_via_hidden_service(self, thread: Actor,
                                  n_intro: int = 3) -> str:
         """Also expose this server as a hidden service; returns the onion
         address (the paper's alternative access path, §5)."""
@@ -282,11 +283,12 @@ class BentoServer:
             self.sim.spawn(self._serve, framed,
                            name=f"bento-hs:{self.relay.nickname}")
 
-        service = self.controller.create_hidden_service(thread, _handler)
+        service = yield from self.controller.create_hidden_service(thread,
+                                                                   _handler)
         self.onion_address = str(service.onion_address)
         return self.onion_address
 
-    def _serve(self, thread: SimThread, framed: FramedStream) -> None:
+    def _serve(self, thread: Actor, framed: FramedStream):
         log = _obs.log
         span = log.begin_span(
             "core.session", self.sim.now, track=self.relay.nickname,
@@ -294,7 +296,7 @@ class BentoServer:
         frames_served = 0
         while True:
             try:
-                frame = framed.recv_frame(thread, timeout=3600.0)
+                frame = yield from framed.recv_frame(thread, timeout=3600.0)
             except Exception:
                 break
             if frame is None:
@@ -307,7 +309,7 @@ class BentoServer:
                                                          detail=str(exc)))
                 continue
             try:
-                self._dispatch(thread, framed, message)
+                yield from self._dispatch(thread, framed, message)
             except TokenInvalid as exc:
                 framed.send_frame(messages.error_message("bad-token",
                                                          detail=str(exc)))
@@ -334,8 +336,8 @@ class BentoServer:
             # This client is gone; sweep for orphans once the grace expires.
             self.sim.schedule(self.orphan_grace_s, self.reap_orphans)
 
-    def _dispatch(self, thread: SimThread, framed: FramedStream,
-                  message: dict) -> None:
+    def _dispatch(self, thread: Actor, framed: FramedStream,
+                  message: dict):
         msg_type = message["type"]
         counter = _REQ_COUNTERS.get(msg_type)
         if counter is None:
@@ -346,7 +348,7 @@ class BentoServer:
             framed.send_frame(messages.encode_message(
                 messages.POLICY, policy=self.policy.to_wire()))
         elif msg_type == messages.REQUEST_IMAGE:
-            self._handle_request_image(thread, framed, message)
+            yield from self._handle_request_image(thread, framed, message)
         elif msg_type == messages.LOAD_FUNCTION:
             self._handle_load(framed, message)
         elif msg_type == messages.INVOKE:
@@ -380,21 +382,21 @@ class BentoServer:
 
     # -- handlers ---------------------------------------------------------------
 
-    def _handle_request_image(self, thread: SimThread, framed: FramedStream,
-                              message: dict) -> None:
+    def _handle_request_image(self, thread: Actor, framed: FramedStream,
+                              message: dict):
         log = _obs.log
         span = log.begin_span(
             "core.request_image", self.sim.now, track=self.relay.nickname,
             image=message.get("image", "python")) if log is not None else None
         try:
-            self._request_image(thread, framed, message, span)
+            yield from self._request_image(thread, framed, message, span)
         except BaseException as exc:
             if span is not None:
                 span.end(self.sim.now, ok=False, error=type(exc).__name__)
             raise
 
-    def _request_image(self, thread: SimThread, framed: FramedStream,
-                       message: dict, span=None) -> None:
+    def _request_image(self, thread: Actor, framed: FramedStream,
+                       message: dict, span=None):
         name = message.get("image", "python")
         image = self._image_cache.get(name)
         if image is not None:
@@ -410,11 +412,13 @@ class BentoServer:
             # The serving plane replaces the blunt container-limit error:
             # it queues, paces, or refuses with a structured retry_after
             # (and may demand a puzzle under shed pressure).
-            qos_key = self.qos.admit_request(thread, framed, message)
+            qos_key = yield from self.qos.admit_request(thread, framed,
+                                                        message)
         elif len(self._by_invocation) >= self.policy.max_containers:
             raise BentoError("container limit reached")
         try:
-            self._start_instance(thread, framed, message, image, qos_key, span)
+            yield from self._start_instance(thread, framed, message, image,
+                                            qos_key, span)
         except BaseException:
             # Give the slot back unless a registered instance already owns
             # it (setup got as far as registration and failed on the
@@ -425,9 +429,9 @@ class BentoServer:
                 self.qos.release(qos_key)
             raise
 
-    def _start_instance(self, thread: SimThread, framed: FramedStream,
+    def _start_instance(self, thread: Actor, framed: FramedStream,
                         message: dict, image: ContainerImage,
-                        qos_key, span=None) -> None:
+                        qos_key, span=None):
         container = Container(
             container_id=f"c{next(self._container_ids)}",
             host_fs=self.host_fs,
@@ -454,7 +458,7 @@ class BentoServer:
             quote = conclave.quote_for_channel(enclave_pub)
             # Staple the IAS report, like OCSP stapling (§5.4): one WAN
             # round trip to Intel, paid by the server, not the client.
-            thread.sleep(2.0 * self.ias.latency_s)
+            yield Sleep(2.0 * self.ias.latency_s)
             report = self.ias.verify_quote(quote, now=self.sim.now)
             reply_fields.update({
                 "quote": quote.to_wire(),

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.netsim.simulator import Sleep, blocking
 from repro.crypto.rsa import RsaKeyPair, RsaPublicKey
 from repro.obs.metrics import REGISTRY as _metrics
 from repro.util.errors import ReproError
@@ -223,7 +224,8 @@ class IntelAttestationService:
         self.reports_issued += 1
         return report
 
+    @blocking
     def verify_quote_blocking(self, thread, quote: Quote) -> AttestationReport:
         """Quote verification including the WAN round trip to Intel."""
-        thread.sleep(2.0 * self.latency_s)
+        yield Sleep(2.0 * self.latency_s)
         return self.verify_quote(quote, now=thread.sim.now)

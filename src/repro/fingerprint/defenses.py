@@ -13,10 +13,11 @@ Browser's offload approach side by side with in-band padding.
 from __future__ import annotations
 
 from repro.fingerprint.lab import standard_tor_visit
-from repro.netsim.simulator import SimThread
+from repro.netsim.simulator import Actor, Join, Sleep, blocking
 
 
-def padded_tor_visit(thread: SimThread, client, hostname: str,
+@blocking
+def padded_tor_visit(thread: Actor, client, hostname: str,
                      pad_rate_cells_per_s: float = 50.0,
                      trailer_s: float = 3.0) -> None:
     """A page load with adaptive-style cover cells on the same circuit.
@@ -28,7 +29,7 @@ def padded_tor_visit(thread: SimThread, client, hostname: str,
     the spirit of WTF-PAD's adaptive padding without its histogram
     machinery.)
     """
-    circuit = client.build_circuit(thread, exit_to=(hostname, 443))
+    circuit = yield from client.build_circuit(thread, exit_to=(hostname, 443))
     state = {"running": True}
     interval = 1.0 / pad_rate_cells_per_s
 
@@ -38,15 +39,16 @@ def padded_tor_visit(thread: SimThread, client, hostname: str,
             # covering the download direction too (like Tor's negotiated
             # padding machines).
             client.send_drop(circuit, hop_index=1, payload=b"echo")
-            pump_thread.sleep(interval)
+            yield Sleep(interval)
 
     pump_thread = client.sim.spawn(pump, name="pad-pump")
     try:
-        standard_tor_visit(thread, client, hostname, circuit=circuit)
-        thread.sleep(trailer_s)     # keep padding past the page tail
+        yield from standard_tor_visit(thread, client, hostname,
+                                      circuit=circuit)
+        yield Sleep(trailer_s)      # keep padding past the page tail
     finally:
         state["running"] = False
-        thread.join(pump_thread)
+        yield Join(pump_thread)
         if not circuit.destroyed:
             circuit.close()
 
@@ -56,7 +58,7 @@ def make_padded_visit(pad_rate_cells_per_s: float = 50.0,
     """A ``visit_fn`` for :meth:`FingerprintLab.collect` with fixed knobs."""
     def visit(thread, client, site):
         """One padded visit (lab visit_fn signature)."""
-        padded_tor_visit(thread, client, site.hostname,
-                         pad_rate_cells_per_s=pad_rate_cells_per_s,
-                         trailer_s=trailer_s)
+        yield from padded_tor_visit(thread, client, site.hostname,
+                                    pad_rate_cells_per_s=pad_rate_cells_per_s,
+                                    trailer_s=trailer_s)
     return visit

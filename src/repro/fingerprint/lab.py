@@ -14,6 +14,7 @@ mirroring one browser session per capture in the paper's setup.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -24,6 +25,7 @@ from repro.fingerprint.websites import SiteSpec, build_corpus
 from repro.functions.browser import BrowserFunction
 from repro.netsim.bytestream import FramedStream
 from repro.netsim.http import fetch
+from repro.netsim.simulator import Join, blocking
 from repro.netsim.trace import PacketRecord, TraceRecorder
 from repro.tor.testnet import TorTestNetwork
 
@@ -31,6 +33,7 @@ from repro.tor.testnet import TorTestNetwork
 PARALLEL_STREAMS = 6    # a browser's typical per-host connection pool
 
 
+@blocking
 def standard_tor_visit(thread, client, hostname: str,
                        parallel: int = PARALLEL_STREAMS,
                        circuit=None) -> int:
@@ -38,10 +41,11 @@ def standard_tor_visit(thread, client, hostname: str,
     subresources over up to ``parallel`` concurrent streams on the same
     circuit.  Returns the number of resources fetched."""
     if circuit is None:
-        circuit = client.build_circuit(thread, exit_to=(hostname, 443))
-    stream = client.open_stream(thread, circuit, hostname, 443)
+        circuit = yield from client.build_circuit(thread,
+                                                  exit_to=(hostname, 443))
+    stream = yield from client.open_stream(thread, circuit, hostname, 443)
     framed = FramedStream(stream)
-    index = fetch(thread, framed, "/", url=f"https://{hostname}/")
+    index = yield from fetch(thread, framed, "/", url=f"https://{hostname}/")
     paths = [line.strip()
              for line in index.body.decode("latin-1", "replace").splitlines()
              if line.strip().startswith("/")]
@@ -51,18 +55,19 @@ def standard_tor_visit(thread, client, hostname: str,
 
     def worker(worker_thread):
         """One parallel fetch worker (a browser connection-pool slot)."""
-        worker_stream = circuit.open_stream(worker_thread, hostname, 443)
+        worker_stream = yield from circuit.open_stream(worker_thread,
+                                                       hostname, 443)
         worker_framed = FramedStream(worker_stream)
         while queue:
             path = queue.pop(0)
-            fetch(worker_thread, worker_framed, path,
-                  url=f"https://{hostname}{path}")
+            yield from fetch(worker_thread, worker_framed, path,
+                             url=f"https://{hostname}{path}")
         worker_framed.close()
 
     workers = [client.sim.spawn(worker, name=f"fetch-worker{i}")
                for i in range(min(parallel, max(1, len(paths))))]
     for worker_thread in workers:
-        thread.join(worker_thread)
+        yield Join(worker_thread)
     circuit.close()
     return 1 + len(paths)
 
@@ -105,22 +110,22 @@ class FingerprintLab:
 
     # -- visit implementations ------------------------------------------------
 
-    def _visit_standard(self, thread, client, site: SiteSpec) -> None:
+    def _visit_standard(self, thread, client, site: SiteSpec):
         """Unmodified Tor: crawl the page through a fresh circuit."""
-        standard_tor_visit(thread, client, site.hostname)
+        yield from standard_tor_visit(thread, client, site.hostname)
 
     def _visit_browser(self, thread, client, site: SiteSpec,
-                       padding: int) -> None:
+                       padding: int):
         """The defense: install and run Browser on a Bento box (Figure 1)."""
         bento = BentoClient(client, ias=self.ias)
-        session = bento.connect(thread, bento.pick_box())
-        session.request_image(thread, self.browser_image)
-        session.load_function(
+        session = yield from bento.connect(thread, bento.pick_box())
+        yield from session.request_image(thread, self.browser_image)
+        yield from session.load_function(
             thread, BrowserFunction.SOURCE,
             BrowserFunction.manifest(image=self.browser_image))
-        BrowserFunction.fetch(thread, session,
-                              f"https://{site.hostname}/", padding)
-        session.shutdown(thread)
+        yield from BrowserFunction.fetch(thread, session,
+                                         f"https://{site.hostname}/", padding)
+        yield from session.shutdown(thread)
         session.close()
 
     # -- collection ----------------------------------------------------------------
@@ -154,15 +159,22 @@ class FingerprintLab:
         recorder = TraceRecorder(client.node)
         started = self.net.sim.now
 
-        def _run(thread):
-            if visit_fn is not None:
+        if visit_fn is not None and not inspect.isgeneratorfunction(visit_fn):
+            # Legacy plain-callable visit_fn (custom ablations): run it on
+            # a deprecated sim-thread so its blocking calls still drive.
+            def _run(thread):
                 visit_fn(thread, client, site)
-            elif defense == "none":
-                self._visit_standard(thread, client, site)
-            elif defense == "browser":
-                self._visit_browser(thread, client, site, padding)
-            else:
-                raise ValueError(f"unknown defense: {defense}")
+        else:
+            def _run(thread):
+                if visit_fn is not None:
+                    yield from visit_fn(thread, client, site)
+                elif defense == "none":
+                    yield from self._visit_standard(thread, client, site)
+                elif defense == "browser":
+                    yield from self._visit_browser(thread, client, site,
+                                                   padding)
+                else:
+                    raise ValueError(f"unknown defense: {defense}")
 
         visit_thread = self.net.sim.spawn(_run, name=f"visit{self._visit_counter}")
         self.net.sim.run_until_done(visit_thread)

@@ -25,7 +25,7 @@ import json
 import math
 
 from repro.core.manifest import FunctionManifest
-from repro.netsim.simulator import SimThread
+from repro.netsim.simulator import Actor, blocking
 
 MB = 1024 * 1024
 
@@ -35,24 +35,24 @@ import json
 def _measure_rtt(host, port, samples):
     total = 0.0
     for _ in range(samples):
-        start = api.time()
-        stream = api.connect(host, port)
-        total += api.time() - start
+        start = yield from api.time()
+        stream = yield from api.connect(host, port)
+        total += (yield from api.time()) - start
         stream.close()
     return total / samples
 
 def avoidance(src_host, src_port, dst_host, dst_port,
               min_detour_rtt, samples):
-    rtt_src = _measure_rtt(src_host, src_port, samples)
-    rtt_dst = _measure_rtt(dst_host, dst_port, samples)
+    rtt_src = yield from _measure_rtt(src_host, src_port, samples)
+    rtt_dst = yield from _measure_rtt(dst_host, dst_port, samples)
     observed = rtt_src + rtt_dst
     avoided = observed < min_detour_rtt
     proof = {"rtt_src": rtt_src, "rtt_dst": rtt_dst,
              "observed_rtt": observed,
              "min_detour_rtt": min_detour_rtt,
              "avoided": avoided,
-             "measured_at": api.time()}
-    api.send(json.dumps(proof).encode("utf-8"))
+             "measured_at": (yield from api.time())}
+    yield from api.send(json.dumps(proof).encode("utf-8"))
     return proof
 '''
 
@@ -97,7 +97,8 @@ class AvoidanceFunction:
             image=image, memory_bytes=2 * MB)
 
     @staticmethod
-    def prove(thread: SimThread, session, src: tuple[str, int],
+    @blocking
+    def prove(thread: Actor, session, src: tuple[str, int],
               dst: tuple[str, int], detour_bound: float,
               samples: int = 3, timeout: float = 600.0) -> dict:
         """Run the measurement on the box and return the proof."""
@@ -106,9 +107,9 @@ class AvoidanceFunction:
         session.framed.send_frame(messages.encode_message(
             messages.INVOKE, token=session.invocation_token,
             args=[src[0], src[1], dst[0], dst[1], detour_bound, samples]))
-        proof = json.loads(session.next_output(thread, timeout=timeout)
-                           .decode("utf-8"))
-        session.await_message(thread, messages.DONE, timeout)
+        raw = yield from session.next_output(thread, timeout=timeout)
+        proof = json.loads(raw.decode("utf-8"))
+        yield from session.await_message(thread, messages.DONE, timeout)
         return proof
 
     @staticmethod

@@ -19,7 +19,7 @@ import zlib
 from typing import Optional
 
 from repro.core.manifest import FunctionManifest
-from repro.netsim.simulator import SimThread
+from repro.netsim.simulator import Actor, blocking
 
 MB = 1024 * 1024
 
@@ -33,14 +33,15 @@ def _host_of(url):
 def browser(url, padding):
     # Fetch contents of site (the page plus every subresource it lists),
     # over one keep-alive connection like a real web client.
-    api.log("browser: fetching " + url)
-    session = api.http_session(_host_of(url))
-    first = session.get("/" + url.split("://", 1)[1].partition("/")[2])
+    yield from api.log("browser: fetching " + url)
+    session = yield from api.http_session(_host_of(url))
+    first = yield from session.get("/" + url.split("://", 1)[1].partition("/")[2])
     blobs = [first.body]
     for line in first.body.decode("latin-1", "replace").splitlines():
         line = line.strip()
         if line.startswith("/"):
-            blobs.append(session.get(line).body)
+            sub = yield from session.get(line)
+            blobs.append(sub.body)
     session.close()
 
     # Compress contents into a single digest file.
@@ -52,9 +53,10 @@ def browser(url, padding):
     if padding > 0:
         remainder = len(final) % padding
         if remainder != 0:
-            final = final + api.random_bytes(padding - remainder)
+            pad = yield from api.random_bytes(padding - remainder)
+            final = final + pad
 
-    api.send(final)
+    yield from api.send(final)
     return {"resources": len(blobs), "page_bytes": len(digest),
             "sent_bytes": len(final)}
 '''
@@ -85,7 +87,8 @@ class BrowserFunction:
         return decompressor.decompress(blob)
 
     @staticmethod
-    def fetch(thread: SimThread, session, url: str, padding: int,
+    @blocking
+    def fetch(thread: Actor, session, url: str, padding: int,
               timeout: float = 1200.0) -> tuple[bytes, dict]:
         """Invoke a loaded Browser and return (page_digest, stats).
 
@@ -96,9 +99,9 @@ class BrowserFunction:
 
         session.framed.send_frame(
             _invoke_frame(session.invocation_token, [url, padding]))
-        blob = session.next_output(thread, timeout=timeout)
-        stats = session.await_message(thread, messages.DONE, timeout)["result"]
-        return BrowserFunction.unpack(blob), stats
+        blob = yield from session.next_output(thread, timeout=timeout)
+        done = yield from session.await_message(thread, messages.DONE, timeout)
+        return BrowserFunction.unpack(blob), done["result"]
 
 
 def _invoke_frame(token: Optional[str], args: list) -> bytes:

@@ -14,20 +14,21 @@ chosen hop — is also exposed (``api.stem.send_padding``).
 from __future__ import annotations
 
 from repro.core.manifest import FunctionManifest
-from repro.netsim.simulator import SimThread
+from repro.netsim.simulator import Actor, Sleep, blocking
 
 MB = 1024 * 1024
 
 COVER_SOURCE = r'''
 def cover(rate_bytes_per_s, duration_s, chunk_size):
-    api.log("cover: %d B/s for %ss" % (rate_bytes_per_s, duration_s))
+    yield from api.log("cover: %d B/s for %ss" % (rate_bytes_per_s, duration_s))
     sent = 0
     interval = chunk_size * 1.0 / rate_bytes_per_s
-    end = api.time() + duration_s
-    while api.time() < end:
-        api.send(api.random_bytes(chunk_size))
+    end = (yield from api.time()) + duration_s
+    while (yield from api.time()) < end:
+        junk = yield from api.random_bytes(chunk_size)
+        yield from api.send(junk)
         sent += chunk_size
-        api.sleep(interval)
+        yield from api.sleep(interval)
     return {"sent_bytes": sent}
 '''
 
@@ -36,15 +37,15 @@ def cover(rate_bytes_per_s, duration_s, chunk_size):
 # exit never sees them.
 COVER_DROP_SOURCE = r'''
 def cover_drop(rate_cells_per_s, duration_s):
-    circuit_id = api.stem.new_circuit()
+    circuit_id = yield from api.stem.new_circuit()
     sent = 0
     interval = 1.0 / rate_cells_per_s
-    end = api.time() + duration_s
-    while api.time() < end:
-        api.stem.send_padding(circuit_id, hop_index=1)
+    end = (yield from api.time()) + duration_s
+    while (yield from api.time()) < end:
+        yield from api.stem.send_padding(circuit_id, hop_index=1)
         sent += 1
-        api.sleep(interval)
-    api.stem.close_circuit(circuit_id)
+        yield from api.sleep(interval)
+    yield from api.stem.close_circuit(circuit_id)
     return {"sent_cells": sent}
 '''
 
@@ -76,7 +77,8 @@ class CoverFunction:
             memory_bytes=memory_bytes)
 
     @staticmethod
-    def run_bidirectional(thread: SimThread, session, rate_bytes_per_s: float,
+    @blocking
+    def run_bidirectional(thread: Actor, session, rate_bytes_per_s: float,
                           duration_s: float, chunk_size: int = 4096) -> dict:
         """Start downstream cover and mirror it upstream; returns stats.
 
@@ -96,9 +98,9 @@ class CoverFunction:
         while thread.sim.now < deadline:
             session.send_message(junk)
             sent_up += chunk_size
-            thread.sleep(interval)
-        result = session.await_message(thread, messages.DONE,
-                                        timeout=duration_s + 120.0)
+            yield Sleep(interval)
+        result = yield from session.await_message(thread, messages.DONE,
+                                                  timeout=duration_s + 120.0)
         stats = dict(result["result"])
         stats["sent_up_bytes"] = sent_up
         return stats

@@ -18,7 +18,7 @@ from __future__ import annotations
 import hashlib
 
 from repro.core.manifest import FunctionManifest
-from repro.netsim.simulator import SimThread
+from repro.netsim.simulator import Actor, blocking
 
 MB = 1024 * 1024
 
@@ -32,32 +32,34 @@ def _pow_ok(cookie, nonce, difficulty_bits):
     return value >> (64 - difficulty_bits) == 0
 
 def guarded_service(difficulty_bits, duration_s, poll_interval):
-    content = api.recv(timeout=300.0)
+    content = yield from api.recv(timeout=300.0)
     state = {"active": 0, "served": 0}
 
     def handler(stream, host, port):
         state["active"] += 1
         try:
-            request = stream.recv(timeout=300.0)
+            request = yield from stream.recv(timeout=300.0)
             if request[:3] == b"GET":
-                stream.send(len(content).to_bytes(8, "big") + content)
+                yield from stream.send(
+                    len(content).to_bytes(8, "big") + content)
                 state["served"] += 1
         except Exception:
             pass
         state["active"] -= 1
         stream.close()
 
-    service = api.stem.create_hidden_service(
+    service = yield from api.stem.create_hidden_service(
         handler, n_intro=3, manual_introductions=True)
-    api.send(json.dumps({"onion": str(service.onion_address),
-                         "difficulty": difficulty_bits}).encode("utf-8"))
+    yield from api.send(json.dumps({"onion": str(service.onion_address),
+                                    "difficulty": difficulty_bits})
+                        .encode("utf-8"))
     accepted = 0
     rejected = 0
-    end = api.time() + duration_s
-    while api.time() < end:
-        remaining = end - api.time()
+    end = (yield from api.time()) + duration_s
+    while (yield from api.time()) < end:
+        remaining = end - (yield from api.time())
         try:
-            request = api.stem.wait_introduction(
+            request = yield from api.stem.wait_introduction(
                 service, timeout=min(poll_interval, remaining))
         except Exception:
             continue
@@ -65,7 +67,7 @@ def guarded_service(difficulty_bits, duration_s, poll_interval):
         nonce = extra.get("pow_nonce")
         if isinstance(nonce, int) and _pow_ok(request["cookie"], nonce,
                                               difficulty_bits):
-            api.stem.complete_rendezvous(service, request)
+            yield from api.stem.complete_rendezvous(service, request)
             accepted += 1
         else:
             rejected += 1     # no rendezvous: the attacker burned an intro
@@ -145,7 +147,8 @@ class DdosDefenseFunction:
             api_calls=cls.API_CALLS, image=image, memory_bytes=memory_bytes)
 
     @staticmethod
-    def start(thread: SimThread, session, content: bytes,
+    @blocking
+    def start(thread: Actor, session, content: bytes,
               difficulty_bits: int = 8, duration_s: float = 120.0,
               poll_interval: float = 2.0, timeout: float = 600.0) -> dict:
         """Launch the guarded service; returns {"onion", "difficulty"}."""
@@ -157,5 +160,5 @@ class DdosDefenseFunction:
             messages.INVOKE, token=session.invocation_token,
             args=[difficulty_bits, duration_s, poll_interval]))
         session.send_message(content)
-        ready = session.next_output(thread, timeout=timeout)
+        ready = yield from session.next_output(thread, timeout=timeout)
         return json.loads(ready.decode("utf-8"))

@@ -22,7 +22,7 @@ from __future__ import annotations
 import json
 
 from repro.core.manifest import FunctionManifest
-from repro.netsim.simulator import SimThread
+from repro.netsim.simulator import Actor, blocking
 
 MB = 1024 * 1024
 
@@ -30,16 +30,16 @@ DROPBOX_SOURCE = r'''
 import json
 
 def dropbox(max_bytes, max_gets, expiry_s):
-    api.log("dropbox: up (max_bytes=%d max_gets=%d expiry=%s)"
-            % (max_bytes, max_gets, expiry_s))
+    yield from api.log("dropbox: up (max_bytes=%d max_gets=%d expiry=%s)"
+                       % (max_bytes, max_gets, expiry_s))
     gets = 0
-    deadline = api.time() + expiry_s
+    deadline = (yield from api.time()) + expiry_s
     while gets < max_gets:
-        remaining = deadline - api.time()
+        remaining = deadline - (yield from api.time())
         if remaining <= 0:
             break
         try:
-            raw = api.recv(timeout=remaining)
+            raw = yield from api.recv(timeout=remaining)
         except Exception:
             break
         try:
@@ -48,32 +48,34 @@ def dropbox(max_bytes, max_gets, expiry_s):
         except Exception:
             continue
         if op == "put":
-            data = api.recv(timeout=60.0)
+            data = yield from api.recv(timeout=60.0)
             if len(data) <= max_bytes:
-                api.storage.put("/drop/" + request["name"], data)
-                api.send(b'{"ok": true}')
+                yield from api.storage.put("/drop/" + request["name"], data)
+                yield from api.send(b'{"ok": true}')
             else:
-                api.send(b'{"ok": false, "error": "too-big"}')
+                yield from api.send(b'{"ok": false, "error": "too-big"}')
         elif op == "get":
             gets += 1
             path = "/drop/" + request["name"]
-            if api.storage.exists(path):
-                api.send(api.storage.get(path))
+            if (yield from api.storage.exists(path)):
+                piece = yield from api.storage.get(path)
+                yield from api.send(piece)
             else:
-                api.send(b"")
+                yield from api.send(b"")
         elif op == "list":
-            names = [p[len("/drop/"):] for p in api.storage.list("/drop")]
-            api.send(json.dumps(names).encode("utf-8"))
+            stored = yield from api.storage.list("/drop")
+            names = [p[len("/drop/"):] for p in stored]
+            yield from api.send(json.dumps(names).encode("utf-8"))
         elif op == "delete":
             path = "/drop/" + request["name"]
-            if api.storage.exists(path):
-                api.storage.delete(path)
-            api.send(b'{"ok": true}')
+            if (yield from api.storage.exists(path)):
+                yield from api.storage.delete(path)
+            yield from api.send(b'{"ok": true}')
         elif op == "close":
             break
     # Expiry or exhaustion: delete everything and terminate.
-    for path in api.storage.list("/drop"):
-        api.storage.delete(path)
+    for path in (yield from api.storage.list("/drop")):
+        yield from api.storage.delete(path)
     return {"gets_served": gets}
 '''
 
@@ -108,40 +110,47 @@ class DropboxFunction:
             args=[max_bytes, max_gets, expiry_s]))
 
     @staticmethod
-    def put(thread: SimThread, session, name: str, data: bytes,
+    @blocking
+    def put(thread: Actor, session, name: str, data: bytes,
             timeout: float = 600.0) -> bool:
         """Store bytes under a name in the running dropbox."""
         session.send_message(json.dumps({"op": "put", "name": name}).encode())
         session.send_message(data)
-        reply = session.next_output(thread, timeout=timeout)
+        reply = yield from session.next_output(thread, timeout=timeout)
         return bool(json.loads(reply.decode("utf-8")).get("ok"))
 
     @staticmethod
-    def get(thread: SimThread, session, name: str,
+    @blocking
+    def get(thread: Actor, session, name: str,
             timeout: float = 600.0) -> bytes:
         """Fetch a named file from the running dropbox."""
         session.send_message(json.dumps({"op": "get", "name": name}).encode())
-        return session.next_output(thread, timeout=timeout)
+        return (yield from session.next_output(thread, timeout=timeout))
 
     @staticmethod
-    def list_names(thread: SimThread, session,
+    @blocking
+    def list_names(thread: Actor, session,
                    timeout: float = 600.0) -> list[str]:
         """Names currently stored in the running dropbox."""
         session.send_message(json.dumps({"op": "list"}).encode())
-        return json.loads(session.next_output(thread, timeout=timeout))
+        reply = yield from session.next_output(thread, timeout=timeout)
+        return json.loads(reply)
 
     @staticmethod
-    def delete(thread: SimThread, session, name: str,
+    @blocking
+    def delete(thread: Actor, session, name: str,
                timeout: float = 600.0) -> bool:
         """Remove a file."""
         session.send_message(json.dumps({"op": "delete", "name": name}).encode())
-        return bool(json.loads(
-            session.next_output(thread, timeout=timeout)).get("ok"))
+        reply = yield from session.next_output(thread, timeout=timeout)
+        return bool(json.loads(reply).get("ok"))
 
     @staticmethod
-    def close(thread: SimThread, session, timeout: float = 600.0) -> dict:
+    @blocking
+    def close(thread: Actor, session, timeout: float = 600.0) -> dict:
         """Ask the loop to finish; returns the function's final stats."""
         from repro.core import messages
 
         session.send_message(json.dumps({"op": "close"}).encode())
-        return session.await_message(thread, messages.DONE, timeout)["result"]
+        done = yield from session.await_message(thread, messages.DONE, timeout)
+        return done["result"]

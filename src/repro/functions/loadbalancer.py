@@ -15,6 +15,11 @@ Two uploaded artifacts: the balancer and the replica it clones itself
 into.  Content is served over hidden-service streams with a tiny
 length-prefixed GET protocol; clients hold their stream open (ending with
 ``DONE``) so "active" counts reflect live downloads.
+
+The uploaded sources are coroutine-style: every api call is a blocking
+generator delegated to with ``yield from``, so the whole balancer (and
+each replica, and each per-stream handler) runs as one
+:class:`~repro.netsim.simulator.SimTask` instead of an OS thread.
 """
 
 from __future__ import annotations
@@ -22,7 +27,7 @@ from __future__ import annotations
 import json
 
 from repro.core.manifest import FunctionManifest
-from repro.netsim.simulator import SimThread
+from repro.netsim.simulator import Actor, blocking
 from repro.obs.metrics import REGISTRY as _metrics
 from repro.obs.span import TRACER as _obs
 from repro.tor.client import TorClient
@@ -35,11 +40,11 @@ def _make_handler(content, state):
     def handler(stream, host, port):
         state["active"] += 1
         try:
-            request = stream.recv(timeout=300.0)
+            request = yield from stream.recv(timeout=300.0)
             if request[:3] == b"GET":
-                stream.send(len(content).to_bytes(8, "big") + content)
+                yield from stream.send(len(content).to_bytes(8, "big") + content)
                 while True:
-                    mark = stream.recv(timeout=3600.0)
+                    mark = yield from stream.recv(timeout=3600.0)
                     if mark == b"" or mark[:4] == b"DONE":
                         break
                 state["served"] += 1
@@ -55,31 +60,31 @@ import json
 ''' + _SERVE_SNIPPET + r'''
 
 def replica(key_material, expected_bytes):
-    content = api.recv(timeout=300.0)
-    api.log("replica: holding %d bytes" % len(content))
+    content = yield from api.recv(timeout=300.0)
+    yield from api.log("replica: holding %d bytes" % len(content))
     state = {"active": 0, "served": 0}
-    service = api.stem.create_hidden_service(
+    service = yield from api.stem.create_hidden_service(
         _make_handler(content, state),
         key_material=key_material, establish=False)
-    api.send(b'{"ready": true}')
+    yield from api.send(b'{"ready": true}')
     while True:
-        raw = api.recv()
+        raw = yield from api.recv()
         try:
             request = json.loads(raw.decode("utf-8"))
         except Exception:
             continue
         op = request.get("op")
         if op == "load":
-            api.send(json.dumps(state).encode("utf-8"))
+            yield from api.send(json.dumps(state).encode("utf-8"))
         elif op == "rendezvous":
             wire = request["req"]
-            api.stem.complete_rendezvous(service, {
+            yield from api.stem.complete_rendezvous(service, {
                 "cookie": bytes.fromhex(wire["cookie"]),
                 "rp_address": wire["rp_address"],
                 "rp_port": int(wire["rp_port"]),
                 "onionskin": bytes.fromhex(wire["onionskin"]),
             }, wait=False)
-            api.send(b'{"ok": true}')
+            yield from api.send(b'{"ok": true}')
         elif op == "stop":
             break
     return state
@@ -91,12 +96,13 @@ import json
 
 def loadbalancer(replica_source, replica_manifest, high_water, low_water,
                  max_replicas, duration_s, poll_interval, announce=False):
-    content = api.recv(timeout=300.0)
+    content = yield from api.recv(timeout=300.0)
     state = {"active": 0, "served": 0}
-    service = api.stem.create_hidden_service(
+    service = yield from api.stem.create_hidden_service(
         _make_handler(content, state),
         n_intro=3, manual_introductions=True)
-    api.send(json.dumps({"onion": str(service.onion_address)}).encode("utf-8"))
+    yield from api.send(
+        json.dumps({"onion": str(service.onion_address)}).encode("utf-8"))
     key_material = service.export_key_material()
 
     # Load model: each instance's in-flight estimate is assigned - served.
@@ -107,13 +113,13 @@ def loadbalancer(replica_source, replica_manifest, high_water, low_water,
     replicas = []
     dead_boxes = []
     lost = {"count": 0}
-    events = [[api.time(), "start", 1]]
+    events = [[(yield from api.time()), "start", 1]]
 
     def tell(payload):
         # Operational announcements (replica placements / losses) for the
         # operator's session; off by default to keep the wire quiet.
         if announce:
-            api.send(json.dumps(payload).encode("utf-8"))
+            yield from api.send(json.dumps(payload).encode("utf-8"))
 
     def estimate(instance):
         if instance["kind"] == "local":
@@ -127,11 +133,11 @@ def loadbalancer(replica_source, replica_manifest, high_water, low_water,
             if not rep["ready"]:
                 continue     # the only pending output would be "ready"
             try:
-                api.remote_send(rep["handle"], b'{"op": "load"}')
-                info = json.loads(api.remote_recv(rep["handle"], timeout=60.0)
-                                  .decode("utf-8"))
+                yield from api.remote_send(rep["handle"], b'{"op": "load"}')
+                raw = yield from api.remote_recv(rep["handle"], timeout=60.0)
+                info = json.loads(raw.decode("utf-8"))
             except Exception:
-                lose_replica(rep)
+                yield from lose_replica(rep)
                 continue
             rep["active"] = info["active"]
             rep["served"] = info["served"]
@@ -150,22 +156,24 @@ def loadbalancer(replica_source, replica_manifest, high_water, low_water,
         # pick falls back to the old uniform draw.
         for _attempt in range(4):
             try:
-                handle = api.deploy(replica_source, replica_manifest,
-                                    direct=True,
-                                    exclude_fingerprints=dead_boxes,
-                                    prefer_slack=True)
-                info = api.remote_info(handle)
-                api.remote_invoke_nowait(handle, [key_material, len(content)])
-                api.remote_send(handle, content)
+                handle = yield from api.deploy(replica_source, replica_manifest,
+                                               direct=True,
+                                               exclude_fingerprints=dead_boxes,
+                                               prefer_slack=True)
+                info = yield from api.remote_info(handle)
+                yield from api.remote_invoke_nowait(
+                    handle, [key_material, len(content)])
+                yield from api.remote_send(handle, content)
             except Exception:
                 continue
             replicas.append({"handle": handle, "active": 0, "served": 0,
                              "assigned": 0, "ready": False,
                              "box_fp": info["box_fp"]})
-            events.append([api.time(), kind, 1 + len(replicas)])
-            tell({"replica_box": info["box_fp"], "event": kind})
+            events.append([(yield from api.time()), kind, 1 + len(replicas)])
+            yield from tell({"replica_box": info["box_fp"], "event": kind})
             return True
-        events.append([api.time(), "spawn-failed", 1 + len(replicas)])
+        events.append([(yield from api.time()), "spawn-failed",
+                       1 + len(replicas)])
         return False
 
     def lose_replica(rep):
@@ -178,10 +186,11 @@ def loadbalancer(replica_source, replica_manifest, high_water, low_water,
         if rep.get("box_fp"):
             dead_boxes.append(rep["box_fp"])
         lost["count"] += 1
-        events.append([api.time(), "replica-lost", 1 + len(replicas)])
-        tell({"replica_lost": rep.get("box_fp", "")})
+        events.append([(yield from api.time()), "replica-lost",
+                       1 + len(replicas)])
+        yield from tell({"replica_lost": rep.get("box_fp", "")})
         if len(replicas) < max_replicas:
-            spawn_replica(kind="respawn")
+            yield from spawn_replica(kind="respawn")
 
     def ensure_ready(rep, timeout=300.0):
         """Wait for a replica's {"ready": true}; with a tiny timeout this
@@ -189,13 +198,13 @@ def loadbalancer(replica_source, replica_manifest, high_water, low_water,
         a timeout) loses the replica."""
         if not rep["ready"]:
             try:
-                api.remote_recv(rep["handle"], timeout=timeout)
+                yield from api.remote_recv(rep["handle"], timeout=timeout)
                 rep["ready"] = True
             except Exception as exc:
                 # The sandbox has no type() and no timeout exception
                 # class to catch by name; repr() carries the class name.
                 if "SimTimeoutError" not in repr(exc):
-                    lose_replica(rep)
+                    yield from lose_replica(rep)
         return rep["ready"]
 
     def dispatch(request):
@@ -203,54 +212,58 @@ def loadbalancer(replica_source, replica_manifest, high_water, low_water,
         # replica mid-provisioning would stall every queued client.
         instances = [{"kind": "local"}]
         for rep in list(replicas):
-            if ensure_ready(rep, timeout=0.05):
+            ready = yield from ensure_ready(rep, timeout=0.05)
+            if ready:
                 instances.append({"kind": "replica", "rep": rep})
         least = min(instances, key=estimate)
         if estimate(least) >= high_water and len(replicas) < max_replicas:
             # Start a replica for *future* load, but serve this request
             # from existing capacity — the new instance is still copying
             # the content and key material.
-            spawn_replica()
+            yield from spawn_replica()
         if least["kind"] == "local":
             local["assigned"] += 1
-            api.stem.complete_rendezvous(service, request, wait=False)
+            yield from api.stem.complete_rendezvous(service, request,
+                                                    wait=False)
         else:
             rep = least["rep"]
             rep["assigned"] += 1
             try:
-                ensure_ready(rep)
-                api.remote_send(rep["handle"], json.dumps({"op": "rendezvous", "req": {
-                    "cookie": request["cookie"].hex(),
-                    "rp_address": request["rp_address"],
-                    "rp_port": int(request["rp_port"]),
-                    "onionskin": request["onionskin"].hex(),
-                }}).encode("utf-8"))
-                api.remote_recv(rep["handle"], timeout=120.0)
+                yield from ensure_ready(rep)
+                yield from api.remote_send(rep["handle"], json.dumps(
+                    {"op": "rendezvous", "req": {
+                        "cookie": request["cookie"].hex(),
+                        "rp_address": request["rp_address"],
+                        "rp_port": int(request["rp_port"]),
+                        "onionskin": request["onionskin"].hex(),
+                    }}).encode("utf-8"))
+                yield from api.remote_recv(rep["handle"], timeout=120.0)
             except Exception:
                 # The replica died under us: serve this client locally so
                 # the request still completes, then replace the replica.
-                lose_replica(rep)
+                yield from lose_replica(rep)
                 local["assigned"] += 1
-                api.stem.complete_rendezvous(service, request, wait=False)
-                events.append([api.time(), "dispatch", "local"])
+                yield from api.stem.complete_rendezvous(service, request,
+                                                        wait=False)
+                events.append([(yield from api.time()), "dispatch", "local"])
                 return
-        events.append([api.time(), "dispatch", least["kind"]])
+        events.append([(yield from api.time()), "dispatch", least["kind"]])
 
-    end = api.time() + duration_s
-    while api.time() < end:
-        remaining = end - api.time()
+    end = (yield from api.time()) + duration_s
+    while (yield from api.time()) < end:
+        remaining = end - (yield from api.time())
         try:
-            request = api.stem.wait_introduction(
+            request = yield from api.stem.wait_introduction(
                 service, timeout=min(poll_interval, remaining))
         except Exception:
             request = None
         if request is not None:
-            dispatch(request)
+            yield from dispatch(request)
             continue
         # Idle tick: refresh real loads and consider scaling down.
         for rep in replicas:
-            ensure_ready(rep, timeout=0.05)
-        poll_loads()
+            yield from ensure_ready(rep, timeout=0.05)
+        yield from poll_loads()
         total_active = state["active"] + sum(r["active"] for r in replicas)
         idle = [r for r in replicas
                 if r["ready"] and r["active"] == 0
@@ -259,30 +272,31 @@ def loadbalancer(replica_source, replica_manifest, high_water, low_water,
             rep = idle[-1]
             replicas.remove(rep)
             try:
-                api.remote_send(rep["handle"], b'{"op": "stop"}')
-                api.remote_shutdown(rep["handle"])
+                yield from api.remote_send(rep["handle"], b'{"op": "stop"}')
+                yield from api.remote_shutdown(rep["handle"])
             except Exception:
                 pass
-            events.append([api.time(), "scale-down", 1 + len(replicas)])
+            events.append([(yield from api.time()), "scale-down",
+                           1 + len(replicas)])
 
     # Drain: the service window is over, but in-flight downloads finish
     # before any instance is decommissioned.
-    drain_deadline = api.time() + 600.0
-    while api.time() < drain_deadline:
+    drain_deadline = (yield from api.time()) + 600.0
+    while (yield from api.time()) < drain_deadline:
         for rep in replicas:
-            ensure_ready(rep, timeout=1.0)
-        poll_loads()
+            yield from ensure_ready(rep, timeout=1.0)
+        yield from poll_loads()
         busy = state["active"] + sum(r["active"] for r in replicas)
         waiting = (local["assigned"] - state["served"]) + sum(
             r["assigned"] - r["served"] for r in replicas)
         if all(r["ready"] for r in replicas) and busy <= 0 and waiting <= 0:
             break
-        api.sleep(poll_interval)
+        yield from api.sleep(poll_interval)
 
     for rep in replicas:
         try:
-            api.remote_send(rep["handle"], b'{"op": "stop"}')
-            api.remote_shutdown(rep["handle"])
+            yield from api.remote_send(rep["handle"], b'{"op": "stop"}')
+            yield from api.remote_shutdown(rep["handle"])
         except Exception:
             pass
     return {"events": events, "served_local": state["served"],
@@ -329,7 +343,7 @@ class LoadBalancerFunction:
             memory_bytes=memory_bytes)
 
     @classmethod
-    def start(cls, thread: SimThread, session, content: bytes,
+    def start(cls, thread: Actor, session, content: bytes,
               high_water: int = 2, low_water: int = 1, max_replicas: int = 3,
               duration_s: float = 120.0, poll_interval: float = 2.0,
               replica_image: str = "python-op-sgx",
@@ -341,8 +355,19 @@ class LoadBalancerFunction:
         losses as extra OUTPUT frames (JSON with ``replica_box`` /
         ``replica_lost`` keys) so an operator can watch re-replication.
         """
+        return cls._start(thread, session, content, high_water, low_water,
+                          max_replicas, duration_s, poll_interval,
+                          replica_image, timeout, announce)
+
+    @staticmethod
+    @blocking
+    def _start(thread: Actor, session, content: bytes, high_water: int,
+               low_water: int, max_replicas: int, duration_s: float,
+               poll_interval: float, replica_image: str, timeout: float,
+               announce: bool) -> str:
         from repro.core import messages
 
+        cls = LoadBalancerFunction
         sim = session.client.sim
         log = _obs.log
         span = log.begin_span(
@@ -356,14 +381,15 @@ class LoadBalancerFunction:
                   high_water, low_water, max_replicas, duration_s,
                   poll_interval, announce]))
         session.send_message(content)
-        ready = session.next_output(thread, timeout=timeout)
+        ready = yield from session.next_output(thread, timeout=timeout)
         onion = json.loads(ready.decode("utf-8"))["onion"]
         if span is not None:
             span.end(sim.now, onion=onion)
         return onion
 
     @staticmethod
-    def download(thread: SimThread, tor_client: TorClient, onion: str,
+    @blocking
+    def download(thread: Actor, tor_client: TorClient, onion: str,
                  timeout: float = 1200.0) -> tuple[bytes, float]:
         """One client's full download from the (possibly balanced) service.
 
@@ -376,20 +402,21 @@ class LoadBalancerFunction:
             "functions.lb_download", started, track=tor_client.node.name,
             client=tor_client.node.name) if log is not None else None
         try:
-            circuit = tor_client.connect_to_hidden_service(thread, onion,
-                                                           timeout=timeout)
-            stream = circuit.open_stream(thread, "", 80, timeout=timeout)
+            circuit = yield from tor_client.connect_to_hidden_service(
+                thread, onion, timeout=timeout)
+            stream = yield from circuit.open_stream(thread, "", 80,
+                                                    timeout=timeout)
             stream.send(b"GET")
             buffer = b""
             while len(buffer) < 8:
-                chunk = stream.recv(thread, timeout=timeout)
+                chunk = yield from stream.recv(thread, timeout=timeout)
                 if chunk == b"":
                     raise ConnectionError("service hung up before header")
                 buffer += chunk
             total = int.from_bytes(buffer[:8], "big")
             body = buffer[8:]
             while len(body) < total:
-                chunk = stream.recv(thread, timeout=timeout)
+                chunk = yield from stream.recv(thread, timeout=timeout)
                 if chunk == b"":
                     raise ConnectionError("service hung up mid-body")
                 body += chunk

@@ -12,7 +12,7 @@ services, and no message loop.
 from __future__ import annotations
 
 from repro.core.manifest import FunctionManifest
-from repro.netsim.simulator import SimThread
+from repro.netsim.simulator import Actor, blocking
 
 MB = 1024 * 1024
 
@@ -25,10 +25,11 @@ def measure(targets, rtt_samples, bw_probe_url, bw_probe_bytes):
         total = 0.0
         failures = 0
         for _ in range(rtt_samples):
-            start = api.time()
+            start = yield from api.time()
             try:
-                stream = api.connect(host, port)
-                total += api.time() - start
+                stream = yield from api.connect(host, port)
+                now = yield from api.time()
+                total += now - start
                 stream.close()
             except Exception:
                 failures += 1
@@ -38,13 +39,13 @@ def measure(targets, rtt_samples, bw_probe_url, bw_probe_bytes):
                         "failures": failures})
     bandwidth = None
     if bw_probe_url:
-        start = api.time()
-        response = api.http_get(bw_probe_url)
-        elapsed = api.time() - start
+        start = yield from api.time()
+        response = yield from api.http_get(bw_probe_url)
+        elapsed = (yield from api.time()) - start
         if elapsed > 0:
             bandwidth = len(response.body) / elapsed
     report = {"targets": results, "bandwidth_bytes_per_s": bandwidth}
-    api.send(json.dumps(report).encode("utf-8"))
+    yield from api.send(json.dumps(report).encode("utf-8"))
     return report
 '''
 
@@ -63,14 +64,13 @@ class MeasureFunction:
             image=image, memory_bytes=2 * MB)
 
     @staticmethod
-    def run(thread: SimThread, session, targets: list[tuple[str, int]],
+    @blocking
+    def run(thread: Actor, session, targets: list[tuple[str, int]],
             rtt_samples: int = 3, bw_probe_url: str = "",
             timeout: float = 600.0) -> dict:
         """Invoke the probe and return its report."""
-        import json
-
         wire_targets = [[host, port] for host, port in targets]
-        result = session.invoke(
+        result = yield from session.invoke(
             thread, [wire_targets, rtt_samples, bw_probe_url, 0],
             timeout=timeout)
         return result

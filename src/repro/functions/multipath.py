@@ -17,27 +17,29 @@ though for a single file one proportional split suffices.
 from __future__ import annotations
 
 from repro.core.manifest import FunctionManifest
-from repro.netsim.simulator import SimThread
+from repro.netsim.simulator import Actor, blocking
 
 MB = 1024 * 1024
 
 MULTIPATH_SOURCE = r'''
 def multipath(url, n_paths):
-    statuses = api.stem.get_network_statuses()
+    statuses = yield from api.stem.get_network_statuses()
     exits = [r for r in statuses if "Exit" in r.flags]
     exit_relay = exits[0]
-    circuits = [api.stem.new_circuit(final_hop=exit_relay)
-                for _ in range(n_paths)]
+    circuits = []
+    for _ in range(n_paths):
+        circuit_id = yield from api.stem.new_circuit(final_hop=exit_relay)
+        circuits.append(circuit_id)
 
     # Probe: a 1-byte ranged fetch tells us the total size and gives a
     # first throughput sample per circuit.
-    probe = api.stem.fetch(circuits[0], url, offset=0, length=1)
+    probe = yield from api.stem.fetch(circuits[0], url, offset=0, length=1)
     total = probe["total"]
 
     # Split proportionally to measured per-circuit RTT (probe each).
     weights = []
     for circuit_id in circuits:
-        sample = api.stem.fetch(circuit_id, url, offset=0, length=1)
+        sample = yield from api.stem.fetch(circuit_id, url, offset=0, length=1)
         weights.append(1.0 / max(sample["elapsed"], 1e-6))
     weight_sum = sum(weights)
 
@@ -50,15 +52,19 @@ def multipath(url, n_paths):
         else:
             length = int(total * weights[index] / weight_sum)
         spans.append((offset, length))
-        handles.append(api.stem.fetch_begin(circuit_id, url,
-                                            offset=offset, length=length))
+        handle = yield from api.stem.fetch_begin(circuit_id, url,
+                                                 offset=offset, length=length)
+        handles.append(handle)
         offset += length
 
-    parts = [api.stem.fetch_join(handle) for handle in handles]
+    parts = []
+    for handle in handles:
+        part = yield from api.stem.fetch_join(handle)
+        parts.append(part)
     body = b"".join(part["body"] for part in parts)
-    api.send(body)
+    yield from api.send(body)
     for circuit_id in circuits:
-        api.stem.close_circuit(circuit_id)
+        yield from api.stem.close_circuit(circuit_id)
     return {"total": total, "paths": n_paths,
             "per_path": [{"offset": span[0], "length": span[1],
                           "elapsed": part["elapsed"]}
@@ -83,7 +89,8 @@ class MultipathFunction:
             image=image, memory_bytes=memory_bytes)
 
     @staticmethod
-    def download(thread: SimThread, session, url: str, n_paths: int,
+    @blocking
+    def download(thread: Actor, session, url: str, n_paths: int,
                  timeout: float = 1200.0) -> tuple[bytes, dict]:
         """Invoke a loaded multipath function; returns (body, stats)."""
         from repro.core import messages
@@ -91,6 +98,6 @@ class MultipathFunction:
         session.framed.send_frame(messages.encode_message(
             messages.INVOKE, token=session.invocation_token,
             args=[url, n_paths]))
-        body = session.next_output(thread, timeout=timeout)
-        stats = session.await_message(thread, messages.DONE, timeout)["result"]
-        return body, stats
+        body = yield from session.next_output(thread, timeout=timeout)
+        done = yield from session.await_message(thread, messages.DONE, timeout)
+        return body, done["result"]

@@ -18,7 +18,7 @@ import json
 
 from repro.core.manifest import FunctionManifest
 from repro.core.policy import MiddleboxNodePolicy
-from repro.netsim.simulator import SimThread
+from repro.netsim.simulator import Actor, blocking
 
 MB = 1024 * 1024
 
@@ -29,10 +29,10 @@ def policy_query(policy_json, max_queries):
     answered = 0
     while answered < max_queries:
         try:
-            api.recv()
+            yield from api.recv()
         except Exception:
             break
-        api.send(policy_json.encode("utf-8"))
+        yield from api.send(policy_json.encode("utf-8"))
         answered += 1
     return {"answered": answered}
 '''
@@ -58,9 +58,10 @@ class PolicyQueryFunction:
         session.invoke_nowait([json.dumps(policy.to_wire()), max_queries])
 
     @staticmethod
-    def query(thread: SimThread, session,
+    @blocking
+    def query(thread: Actor, session,
               timeout: float = 300.0) -> MiddleboxNodePolicy:
         """Ask a running PolicyQuery function for the node's policy."""
         session.send_message(b"?")
-        reply = session.next_output(thread, timeout=timeout)
+        reply = yield from session.next_output(thread, timeout=timeout)
         return MiddleboxNodePolicy.from_wire(json.loads(reply.decode("utf-8")))

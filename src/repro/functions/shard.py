@@ -19,7 +19,7 @@ import json
 from repro.coding.erasure import Shard, decode_shards
 from repro.core.manifest import FunctionManifest
 from repro.functions.dropbox import DropboxFunction
-from repro.netsim.simulator import SimThread
+from repro.netsim.simulator import Actor, blocking
 from repro.obs.span import TRACER as _obs
 
 MB = 1024 * 1024
@@ -71,24 +71,25 @@ def _encode(data, n, k):
     return shards
 
 def shard(n, k, dropbox_source, dropbox_manifest, name, expiry_s):
-    data = api.recv(timeout=120.0)
-    api.log("shard: %d bytes -> %d-of-%d" % (len(data), k, n))
+    data = yield from api.recv(timeout=120.0)
+    yield from api.log("shard: %d bytes -> %d-of-%d" % (len(data), k, n))
     pieces = _encode(data, n, k)
     placements = []
     used_boxes = []
     for index, piece in enumerate(pieces):
-        handle = api.deploy(dropbox_source, dropbox_manifest,
-                            exclude_fingerprints=used_boxes)
-        info = api.remote_info(handle)
+        handle = yield from api.deploy(dropbox_source, dropbox_manifest,
+                                       exclude_fingerprints=used_boxes)
+        info = yield from api.remote_info(handle)
         used_boxes.append(info["box_fp"])
         # Start the dropbox loop, then PUT this piece.
-        api.remote_invoke_nowait(handle, [len(piece) + 1024, 1000, expiry_s])
-        api.remote_send(handle, json.dumps(
+        yield from api.remote_invoke_nowait(
+            handle, [len(piece) + 1024, 1000, expiry_s])
+        yield from api.remote_send(handle, json.dumps(
             {"op": "put", "name": name + "." + str(index)}).encode("utf-8"))
-        api.remote_send(handle, piece)
-        ack = api.remote_recv(handle, timeout=120.0)
+        yield from api.remote_send(handle, piece)
+        ack = yield from api.remote_recv(handle, timeout=120.0)
         if b"true" not in ack:
-            api.log("shard: put failed on " + info["box_nickname"])
+            yield from api.log("shard: put failed on " + info["box_nickname"])
         placements.append({"index": index,
                            "box_fp": info["box_fp"],
                            "box_nickname": info["box_nickname"],
@@ -115,7 +116,8 @@ class ShardFunction:
             image=image, memory_bytes=memory_bytes)
 
     @staticmethod
-    def scatter(thread: SimThread, session, data: bytes, n: int, k: int,
+    @blocking
+    def scatter(thread: Actor, session, data: bytes, n: int, k: int,
                 name: str = "file", expiry_s: float = 3600.0,
                 timeout: float = 1200.0) -> dict:
         """Run the full scatter: returns the placement metadata."""
@@ -132,13 +134,15 @@ class ShardFunction:
             args=[n, k, DropboxFunction.SOURCE, dropbox_manifest, name,
                   expiry_s]))
         session.send_message(data)
-        result = session.await_message(thread, messages.DONE, timeout)["result"]
+        done = yield from session.await_message(thread, messages.DONE, timeout)
+        result = done["result"]
         if span is not None:
             span.end(sim.now, placements=len(result["placements"]))
         return result
 
     @staticmethod
-    def gather(thread: SimThread, bento_client, metadata: dict,
+    @blocking
+    def gather(thread: Actor, bento_client, metadata: dict,
                use_indices: list[int] | None = None,
                timeout: float = 600.0) -> bytes:
         """Fetch any k shards straight from their Dropboxes and decode.
@@ -180,13 +184,14 @@ class ShardFunction:
 
             def fetch_piece(placement=placement):
                 box = consensus.find(placement["box_fp"])
-                dropbox_session = bento_client.connect(thread, box,
-                                                       timeout=timeout)
+                dropbox_session = yield from bento_client.connect(
+                    thread, box, timeout=timeout)
                 try:
-                    dropbox_session.attach(thread, placement["invocation"])
-                    return DropboxFunction.get(thread, dropbox_session,
-                                               placement["name"],
-                                               timeout=timeout)
+                    yield from dropbox_session.attach(
+                        thread, placement["invocation"])
+                    return (yield from DropboxFunction.get(
+                        thread, dropbox_session, placement["name"],
+                        timeout=timeout))
                 finally:
                     dropbox_session.close()
 
@@ -194,8 +199,8 @@ class ShardFunction:
                 # A couple of attempts per placement so one unlucky relay
                 # pick doesn't burn a surviving Dropbox; a genuinely dead
                 # box fails fast (its dials are refused) and is skipped.
-                piece = bento_client.retrying(thread, fetch_piece,
-                                              attempts=3, backoff_s=1.0)
+                piece = yield from bento_client.retrying(
+                    thread, fetch_piece, attempts=3, backoff_s=1.0)
             except RETRYABLE_ERRORS as exc:
                 failures.append("%s: %s" % (placement["box_nickname"], exc))
                 continue

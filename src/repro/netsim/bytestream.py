@@ -21,7 +21,7 @@ from typing import Optional, Protocol
 
 from repro.netsim.connection import Connection, ConnectionClosed
 from repro.netsim.node import Node
-from repro.netsim.simulator import Future, SimThread
+from repro.netsim.simulator import Actor, Future, Wait, blocking
 from repro.obs.metrics import REGISTRY as _metrics
 from repro.perf.counters import counters as _perf
 
@@ -36,7 +36,7 @@ class ByteStream(Protocol):
         """Queue bytes for the peer."""
         ...  # pragma: no cover - protocol stub
 
-    def recv(self, thread: SimThread, timeout: Optional[float] = None,
+    def recv(self, thread: Actor, timeout: Optional[float] = None,
              min_bytes: int = 1) -> bytes:
         """Block until at least ``min_bytes`` bytes (or EOF) arrive.
 
@@ -90,7 +90,8 @@ class _RecvQueue:
         if self._waiter is not None and not self._waiter.done:
             self._waiter.resolve(None)
 
-    def pop(self, thread: SimThread, timeout: Optional[float],
+    @blocking
+    def pop(self, thread: Actor, timeout: Optional[float],
             min_bytes: int = 1) -> bytes:
         """Block until ``min_bytes`` bytes (or EOF) are available.
 
@@ -122,7 +123,7 @@ class _RecvQueue:
                 self._waiter = Future(self._sim)
                 # A timeout propagates from here with the accumulated
                 # bytes safely parked in self._pending for the next read.
-                thread.wait(self._waiter, timeout=timeout)
+                yield Wait(self._waiter, timeout)
                 self._waiter = None
             self._target = 1
             if not pending:
@@ -137,7 +138,7 @@ class _RecvQueue:
             return data
         while not self._chunks and not self._eof:
             self._waiter = Future(self._sim)
-            thread.wait(self._waiter, timeout=timeout)
+            yield Wait(self._waiter, timeout)
             self._waiter = None
         if self._chunks:
             data = self._chunks.popleft()
@@ -174,10 +175,11 @@ class DirectByteStream:
             self.conn.send(self.local,
                            data if isinstance(data, bytes) else bytes(data))
 
-    def recv(self, thread: SimThread, timeout: Optional[float] = None,
+    @blocking
+    def recv(self, thread: Actor, timeout: Optional[float] = None,
              min_bytes: int = 1) -> bytes:
         """Block until ``min_bytes`` bytes arrive; b'' at EOF."""
-        return self._recv.pop(thread, timeout, min_bytes)
+        return (yield from self._recv.pop(thread, timeout, min_bytes))
 
     def close(self) -> None:
         """Close the stream/connection."""
@@ -293,14 +295,16 @@ class FramedStream:
             self.on_frame(len(frame))
         self.stream.send(Framer.encode(frame))
 
-    def recv_frame(self, thread: SimThread,
+    @blocking
+    def recv_frame(self, thread: Actor,
                    timeout: Optional[float] = None) -> Optional[bytes]:
         """Block until one complete frame arrives; ``None`` on EOF."""
         if self._ready:
             return self._ready.pop(0)
         while True:
-            data = self.stream.recv(thread, timeout=timeout,
-                                    min_bytes=self._framer.needed_bytes)
+            data = yield from self.stream.recv(
+                thread, timeout=timeout,
+                min_bytes=self._framer.needed_bytes)
             if data == b"":
                 return None
             frames = self._framer.feed(data)

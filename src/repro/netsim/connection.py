@@ -24,7 +24,7 @@ from collections import deque
 from typing import Any, Callable, Optional
 
 from repro.netsim.node import Node
-from repro.netsim.simulator import Future, Simulator
+from repro.netsim.simulator import Future, Simulator, Wait, blocking
 from repro.obs.span import TRACER as _obs
 from repro.perf.counters import counters as _perf
 
@@ -390,8 +390,9 @@ class Connection:
 
     # -- receiving (blocking style, for sim-threads) -----------------------
 
+    @blocking
     def receive(self, node: Node, thread, timeout: Optional[float] = None) -> Any:
-        """Block (in a sim-thread) until a message for ``node`` arrives."""
+        """Block (in an actor) until a message for ``node`` arrives."""
         endpoint = self._endpoints[node.name]
         if endpoint.on_message is not None:
             raise RuntimeError("endpoint already has an on_message handler")
@@ -399,7 +400,7 @@ class Connection:
             if endpoint._closed or self.closed:
                 raise ConnectionClosed("connection closed while receiving")
             endpoint._waiter = Future(self.sim)
-            thread.wait(endpoint._waiter, timeout=timeout)
+            yield Wait(endpoint._waiter, timeout)
             endpoint._waiter = None
         payload, _size = endpoint._queue.popleft()
         return payload
@@ -518,6 +519,7 @@ class LoopbackConnection:
         if on_sent is not None:
             self.sim.schedule(0.0, on_sent)
 
+    @blocking
     def receive(self, _node: Node, thread, timeout: Optional[float] = None) -> Any:
         """Blocking receive of the next queued payload."""
         endpoint = self._endpoint
@@ -525,7 +527,7 @@ class LoopbackConnection:
             if endpoint._closed or self.closed:
                 raise ConnectionClosed("loopback closed while receiving")
             endpoint._waiter = Future(self.sim)
-            thread.wait(endpoint._waiter, timeout=timeout)
+            yield Wait(endpoint._waiter, timeout)
             endpoint._waiter = None
         payload, _size = endpoint._queue.popleft()
         return payload

@@ -24,7 +24,7 @@ from repro.netsim.bytestream import ByteStream, DirectByteStream, FramedStream
 from repro.netsim.connection import Connection
 from repro.netsim.network import Network, NetworkError
 from repro.netsim.node import Node
-from repro.netsim.simulator import SimThread
+from repro.netsim.simulator import Actor, blocking
 from repro.util.serialization import canonical_decode, canonical_encode
 
 HTTPS_PORT = 443
@@ -123,11 +123,11 @@ class HttpServer:
         self.node.sim.spawn(self._serve, stream,
                             name=f"http:{self.node.name}")
 
-    def _serve(self, thread: SimThread, stream: ByteStream) -> None:
+    def _serve(self, thread: Actor, stream: ByteStream):
         framed = FramedStream(stream)
         while True:
             try:
-                frame = framed.recv_frame(thread, timeout=600.0)
+                frame = yield from framed.recv_frame(thread, timeout=600.0)
             except Exception:
                 break
             if frame is None or frame == b"":
@@ -138,12 +138,13 @@ class HttpServer:
             except Exception:
                 break  # malformed request; drop the connection
             self.request_count += 1
-            self._respond(thread, framed, path,
-                          offset=request.get("offset"),
-                          length=request.get("range_length"))
+            yield from self._respond(thread, framed, path,
+                                     offset=request.get("offset"),
+                                     length=request.get("range_length"))
         framed.close()
 
-    def _respond(self, thread: SimThread, framed: FramedStream, path: str,
+    @blocking
+    def _respond(self, thread: Actor, framed: FramedStream, path: str,
                  offset=None, length=None) -> None:
         body = self.resources.get(path)
         if callable(body):
@@ -156,10 +157,11 @@ class HttpServer:
             end = total if length is None else min(total, int(offset) + int(length))
             body = body[int(offset):end]
             status = 206
-        serve_body(thread, framed, status, body, total=total)
+        yield from serve_body(thread, framed, status, body, total=total)
 
 
-def serve_body(thread: SimThread, framed: FramedStream, status: int,
+@blocking
+def serve_body(thread: Actor, framed: FramedStream, status: int,
                body: bytes, total: Optional[int] = None) -> None:
     """Send one response (header + ack-paced windows) on ``framed``.
 
@@ -179,12 +181,13 @@ def serve_body(thread: SimThread, framed: FramedStream, status: int,
         framed.send_frame(body[offset:offset + size])
         offset += size
         if index < len(windows) - 1:
-            ack = framed.recv_frame(thread, timeout=600.0)
+            ack = yield from framed.recv_frame(thread, timeout=600.0)
             if ack != _ACK:
                 return  # peer went away mid-transfer
 
 
-def fetch(thread: SimThread, framed: FramedStream, path: str,
+@blocking
+def fetch(thread: Actor, framed: FramedStream, path: str,
           url: str = "", timeout: float = 600.0,
           offset: Optional[int] = None,
           length: Optional[int] = None) -> HttpResponse:
@@ -202,7 +205,7 @@ def fetch(thread: SimThread, framed: FramedStream, path: str,
             request_fields["range_length"] = int(length)
     request = canonical_encode(request_fields)
     framed.send_frame(request)
-    header_frame = framed.recv_frame(thread, timeout=timeout)
+    header_frame = yield from framed.recv_frame(thread, timeout=timeout)
     if header_frame is None:
         raise NetworkError(f"connection closed before response header ({url})")
     header = canonical_decode(header_frame)
@@ -210,7 +213,7 @@ def fetch(thread: SimThread, framed: FramedStream, path: str,
     nwindows = int(header["nwindows"])
     parts: list[bytes] = []
     for index in range(nwindows):
-        part = framed.recv_frame(thread, timeout=timeout)
+        part = yield from framed.recv_frame(thread, timeout=timeout)
         if part is None:
             raise NetworkError(f"connection closed mid-body ({url})")
         parts.append(part)
@@ -224,7 +227,8 @@ def fetch(thread: SimThread, framed: FramedStream, path: str,
                         total=int(header.get("total", len(body))))
 
 
-def http_get(thread: SimThread, network: Network, client: Node, url: str,
+@blocking
+def http_get(thread: Actor, network: Network, client: Node, url: str,
              timeout: float = 600.0) -> HttpResponse:
     """Resolve, dial (TCP+TLS for https), GET, and close.
 
@@ -235,12 +239,13 @@ def http_get(thread: SimThread, network: Network, client: Node, url: str,
     parsed = parse_url(url)
     address = network.resolve(parsed.host)
     rtts = 2.0 if parsed.scheme == "https" else 1.0
-    conn = network.connect_blocking(
+    conn = yield from network.connect_blocking(
         thread, client, address, parsed.port, handshake_rtts=rtts, timeout=timeout
     )
     framed = FramedStream(DirectByteStream(conn, client))
     try:
-        response = fetch(thread, framed, parsed.path, url=url, timeout=timeout)
+        response = yield from fetch(thread, framed, parsed.path, url=url,
+                                    timeout=timeout)
     finally:
         framed.close()
     return response

@@ -6,7 +6,7 @@ from typing import Optional
 
 from repro.netsim.connection import Connection
 from repro.netsim.node import Node
-from repro.netsim.simulator import Future, Simulator
+from repro.netsim.simulator import Future, Simulator, Wait, blocking
 from repro.obs.span import TRACER as _obs
 from repro.util.errors import ReproError
 
@@ -191,11 +191,12 @@ class Network:
         self.sim.schedule(handshake_rtts * 2.0 * latency, _complete)
         return future
 
+    @blocking
     def connect_blocking(self, thread, initiator: Node, address: str, port: int,
                          handshake_rtts: float = 1.0,
                          timeout: Optional[float] = None) -> Connection:
-        """Sim-thread convenience wrapper around :meth:`connect`."""
-        return thread.wait(
+        """Blocking convenience wrapper around :meth:`connect`."""
+        return (yield Wait(
             self.connect(initiator, address, port, handshake_rtts=handshake_rtts),
-            timeout=timeout,
-        )
+            timeout,
+        ))

@@ -1,38 +1,56 @@
-"""The discrete-event core: clock, event queue, futures, and sim-threads.
+"""The discrete-event core: clock, event queue, futures, and actors.
 
-Two execution styles coexist:
+Three execution styles coexist:
 
 * **Event-driven handlers** (relays, servers) register callbacks with
   :meth:`Simulator.schedule`; they must never block.
-* **Blocking actors** (clients, Bento functions) run as
-  :class:`SimThread`\\ s -- real OS threads of which at most one runs at a
-  time, hand-scheduled by the simulator.  Inside a sim-thread, code may call
-  :meth:`SimThread.sleep` and :meth:`SimThread.wait` and reads as ordinary
-  sequential Python.  Because exactly one thread runs at any instant and
-  every wake-up flows through the (deterministic) event queue, simulations
-  remain fully reproducible.
+* **Coroutine tasks** (clients, Bento functions) run as
+  :class:`SimTask`\\ s -- generators multiplexed onto the event loop by a
+  trampoline.  A task-style actor is a generator function that yields
+  suspension requests (:class:`Wait`, :class:`Sleep`, :class:`Join`) and
+  composes with nested actors via ``yield from``.  The whole simulation
+  runs on **one** OS thread: suspending a task costs a generator frame,
+  not a kernel context switch, and memory per actor is O(task) bytes
+  instead of an OS thread stack.
+* **Legacy sim-threads** (:class:`SimThread`) back plain blocking
+  callables with a real OS thread of which at most one runs at a time,
+  hand-scheduled by the simulator.  This is the deprecated compatibility
+  path: :meth:`Simulator.spawn` keeps dispatching plain callables onto
+  it so existing call sites still work, but every in-tree actor is
+  task-style and the ``legacy_threads_spawned`` counter guards CI.
+
+Both kernels share one invariant: every wake-up flows through the
+(deterministic) event queue and exactly one actor runs at any instant,
+so fixed seeds replay bit-identical schedules regardless of kernel.  The
+task kernel's wait/sleep paths issue *exactly* the same
+:meth:`Simulator.schedule` calls in the same order as the thread
+kernel's, which keeps event sequence numbers -- and therefore golden
+traces -- identical across the migration.
 
 The event heap stores ``(time, seq, event)`` tuples so ordering
-comparisons run on C-level tuples instead of ``Event.__lt__`` — in large
-runs those comparisons used to dominate the profile.  Cancellation stays
-lazy, but :meth:`Simulator.run` compacts the heap whenever cancelled
-entries outnumber live ones (timeout-heavy workloads otherwise accumulate
+comparisons run on C-level tuples -- in large runs those comparisons
+used to dominate the profile.  Cancellation stays lazy, but
+:meth:`Simulator.run` compacts the heap whenever cancelled entries
+outnumber live ones (timeout-heavy workloads otherwise accumulate
 far-future garbage without bound).
 
-Timeouts use a *timer slot* per sim-thread: a thread has at most one
-outstanding :meth:`SimThread.wait`, so its timeout owns a single reusable
-heap entry.  When the awaited future wins the race the slot is disarmed
-(a cancelled tombstone that a later wait resurrects in place) instead of
-abandoning one tombstone per wait — a recv loop that used to leave
-thousands of far-future entries for ``_compact`` to mop up now keeps the
-heap at one entry per thread.
+Timeouts use a *timer slot* per actor: an actor has at most one
+outstanding wait, so its timeout owns a single reusable heap entry.
+When the awaited future wins the race the slot is disarmed (a cancelled
+tombstone that a later wait resurrects in place) instead of abandoning
+one tombstone per wait -- a recv loop that used to leave thousands of
+far-future entries for ``_compact`` to mop up now keeps the heap at one
+entry per actor.
 """
 
 from __future__ import annotations
 
+import functools
 import heapq
+import inspect
 import threading
-from typing import Any, Callable, Optional
+from types import GeneratorType
+from typing import Any, Callable, Optional, Union
 
 from repro.obs.metrics import REGISTRY as _metrics
 from repro.perf.counters import counters as _perf
@@ -40,8 +58,11 @@ from repro.perf.profiling import active_profile
 from repro.util.errors import ReproError
 from repro.util.rng import DeterministicRandom
 
-# Cached registry handle (the registry resets in place, so this survives).
+# Cached registry handles (the registry resets in place, so these survive).
 _TIMERS_CANCELLED = _metrics.counter("timers_cancelled")
+_TASKS_SPAWNED = _metrics.counter("actors_spawned", labels={"kind": "task"})
+_THREADS_SPAWNED = _metrics.counter("actors_spawned", labels={"kind": "thread"})
+_TASK_SWITCHES = _metrics.counter("task_switches")
 
 # Compact the heap when it holds this many cancelled events and they
 # outnumber the live ones.  Small enough to bound garbage, large enough
@@ -55,7 +76,7 @@ def _discarded() -> None:  # pragma: no cover - never invoked
 
 
 class SimulationError(ReproError):
-    """Raised for scheduler misuse (e.g., blocking outside a sim-thread)."""
+    """Raised for scheduler misuse (e.g., blocking outside an actor)."""
 
 
 class SimTimeoutError(ReproError):
@@ -82,9 +103,6 @@ class Event:
             self.cancelled = True
             if self._sim is not None:
                 self._sim._cancelled += 1
-
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
 
 
 class Future:
@@ -131,78 +149,72 @@ class Future:
             self._callbacks.append(callback)
 
 
-class SimThread:
-    """A blocking actor multiplexed onto the simulator.
+# -- suspension requests -----------------------------------------------------
+#
+# Task-style actors yield these to the trampoline; :func:`blocking`-wrapped
+# operations yield them up through ``yield from`` chains.  The legacy
+# driver (:func:`_drive_blocking`) maps each request back onto the
+# corresponding SimThread primitive, so one generator body serves both
+# kernels.
 
-    Created with :meth:`Simulator.spawn`.  The target callable receives the
-    :class:`SimThread` as its first argument and may call :meth:`sleep`,
-    :meth:`wait` and :meth:`join` — each suspends this actor and lets
-    simulated time advance.
+class Wait:
+    """Suspend until ``future`` resolves; the yield evaluates to its value.
 
-    The scheduler/actor handoff uses a pair of locks as binary semaphores;
-    unlike ``threading.Event`` pairs they need no clear/set cycle per
-    switch, which roughly halves the cost of each context handoff.
+    Raises :class:`SimTimeoutError` at the resumption point if ``timeout``
+    simulated seconds elapse first (the future itself is left untouched).
     """
 
-    def __init__(self, sim: "Simulator", name: str, fn: Callable, args: tuple) -> None:
+    __slots__ = ("future", "timeout")
+
+    def __init__(self, future: Future, timeout: Optional[float] = None) -> None:
+        self.future = future
+        self.timeout = timeout
+
+
+class Sleep:
+    """Suspend for ``duration`` simulated seconds."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float) -> None:
+        self.duration = duration
+
+
+class Join:
+    """Suspend until another actor finishes; evaluates to its result."""
+
+    __slots__ = ("actor", "timeout")
+
+    def __init__(self, actor: "Actor", timeout: Optional[float] = None) -> None:
+        self.actor = actor
+        self.timeout = timeout
+
+
+class _ActorBase:
+    """State both kernels share: identity, outcome, and the timer slot."""
+
+    def __init__(self, sim: "Simulator", name: str) -> None:
         self.sim = sim
         self.name = name
         self.finished = False
         self.result: Any = None
         self.exception: Optional[BaseException] = None
-        self._fn = fn
-        self._args = args
-        self._go = threading.Lock()
-        self._go.acquire()
-        self._yielded = threading.Lock()
-        self._yielded.acquire()
         self._done_future = Future(sim)
+        # Guards against stale wake-ups: every wait bumps the generation,
+        # and a wake callback registered by an earlier wait (e.g. a future
+        # that resolves long after its timeout lost the race) no longer
+        # matches, so it cannot resume the actor spuriously.
+        self._wait_generation = 0
         # Reusable timeout slot: at most one wait() is outstanding per
-        # thread, so one heap entry serves every timeout this thread arms.
+        # actor, so one heap entry serves every timeout this actor arms.
         self._timer_event: Optional[Event] = None
         self._timer_deadline: Optional[float] = None
         self._timer_on_fire: Optional[Callable[[], None]] = None
-        self._thread = threading.Thread(
-            target=self._run, name=f"sim:{name}", daemon=True
-        )
-
-    # -- scheduler side -------------------------------------------------
-
-    def _start(self) -> None:
-        self._thread.start()
-        self._step()
-
-    def _step(self) -> None:
-        """Run the actor until it blocks again (called from the event loop)."""
-        self._go.release()
-        self._yielded.acquire()
-        if self.finished:
-            if self.exception is not None and not self._done_future.done:
-                self._done_future.reject(self.exception)
-            elif not self._done_future.done:
-                self._done_future.resolve(self.result)
-
-    # -- actor side ------------------------------------------------------
-
-    def _run(self) -> None:
-        self._go.acquire()
-        try:
-            self.result = self._fn(self, *self._args)
-        except BaseException as exc:  # noqa: BLE001 - surfaced via .exception
-            self.exception = exc
-        finally:
-            self.finished = True
-            self._yielded.release()
-
-    def _block(self) -> None:
-        """Yield control to the scheduler; returns when re-scheduled."""
-        self._yielded.release()
-        self._go.acquire()
 
     # -- timer slot -------------------------------------------------------
 
     def _arm_timer(self, deadline: float, on_fire: Callable[[], None]) -> None:
-        """Point this thread's timer slot at ``deadline``.
+        """Point this actor's timer slot at ``deadline``.
 
         Reuses the pending heap entry when possible: a disarmed tombstone
         at or before the new deadline is resurrected in place (the fire
@@ -249,6 +261,84 @@ class SimThread:
         if on_fire is not None:
             on_fire()
 
+    @property
+    def done_future(self) -> Future:
+        """A future resolved with the actor's result when it finishes."""
+        return self._done_future
+
+
+class SimThread(_ActorBase):
+    """A blocking actor backed by a real OS thread (legacy kernel).
+
+    Deprecated compatibility shim: :meth:`Simulator.spawn` still routes
+    plain callables here so thread-style call sites keep working, but new
+    actors should be generator functions on the :class:`SimTask` kernel.
+    The target callable receives the :class:`SimThread` as its first
+    argument and may call :meth:`sleep`, :meth:`wait` and :meth:`join` --
+    each suspends this actor and lets simulated time advance.
+
+    The scheduler/actor handoff uses a pair of locks as binary semaphores;
+    unlike ``threading.Event`` pairs they need no clear/set cycle per
+    switch, which roughly halves the cost of each context handoff.
+    """
+
+    #: True while :func:`_drive_blocking` is advancing a generator on this
+    #: thread, so nested :func:`blocking` calls return their generators
+    #: (for ``yield from``) instead of starting a recursive drive.
+    _driving = False
+
+    def __init__(self, sim: "Simulator", name: str, fn: Callable, args: tuple) -> None:
+        super().__init__(sim, name)
+        self._fn = fn
+        self._args = args
+        self._go = threading.Lock()
+        self._go.acquire()
+        self._yielded = threading.Lock()
+        self._yielded.acquire()
+        self._thread = threading.Thread(
+            target=self._run, name=f"sim:{name}", daemon=True
+        )
+
+    # -- scheduler side -------------------------------------------------
+
+    def _start(self) -> None:
+        self._thread.start()
+        self._step()
+
+    def _step(self) -> None:
+        """Run the actor until it blocks again (called from the event loop)."""
+        self._go.release()
+        self._yielded.acquire()
+        if self.finished:
+            if self.exception is not None and not self._done_future.done:
+                self._done_future.reject(self.exception)
+            elif not self._done_future.done:
+                self._done_future.resolve(self.result)
+
+    # -- actor side ------------------------------------------------------
+
+    def _run(self) -> None:
+        self._go.acquire()
+        try:
+            result = self._fn(self, *self._args)
+            if isinstance(result, GeneratorType):
+                # A task-style callable landed on the legacy kernel (for
+                # example via a lambda wrapper that hid the generator
+                # function from spawn's dispatch); drive it to completion
+                # so it still runs rather than silently doing nothing.
+                result = _drive_blocking(self, result)
+            self.result = result
+        except BaseException as exc:  # noqa: BLE001 - surfaced via .exception
+            self.exception = exc
+        finally:
+            self.finished = True
+            self._yielded.release()
+
+    def _block(self) -> None:
+        """Yield control to the scheduler; returns when re-scheduled."""
+        self._yielded.release()
+        self._go.acquire()
+
     def wait(self, future: Future, timeout: Optional[float] = None) -> Any:
         """Suspend until ``future`` resolves; returns its value.
 
@@ -257,10 +347,13 @@ class SimThread:
         """
         if threading.current_thread() is not self._thread:
             raise SimulationError("wait() called from outside this sim-thread")
+        self._wait_generation += 1
+        generation = self._wait_generation
         timed_out = False
 
         def _wake(_arg: Any) -> None:
-            self.sim._wake_thread(self)
+            if self._wait_generation == generation:
+                self.sim._wake_thread(self)
 
         def _on_timeout() -> None:
             nonlocal timed_out
@@ -286,14 +379,288 @@ class SimThread:
         self.sim.schedule(duration, future.resolve, None)
         self.wait(future)
 
-    def join(self, other: "SimThread", timeout: Optional[float] = None) -> Any:
-        """Suspend until another sim-thread finishes; returns its result."""
+    def join(self, other: "Actor", timeout: Optional[float] = None) -> Any:
+        """Suspend until another actor finishes; returns its result."""
         return self.wait(other._done_future, timeout=timeout)
 
-    @property
-    def done_future(self) -> Future:
-        """A future resolved with the actor's result when it finishes."""
-        return self._done_future
+
+class SimTask(_ActorBase):
+    """A coroutine actor: a generator multiplexed onto the event loop.
+
+    Created with :meth:`Simulator.spawn` from a generator function, which
+    receives the :class:`SimTask` as its first argument (mirroring the
+    thread-style calling convention) and suspends by yielding
+    :class:`Wait` / :class:`Sleep` / :class:`Join` requests.  Nested
+    blocking operations compose with ``yield from``.
+
+    The trampoline replicates the thread kernel's wake-up protocol call
+    for call -- same timer-slot arming, same ``add_done_callback``
+    registration, same number of scheduled events -- so a fixed seed
+    produces bit-identical event sequences on either kernel.
+    """
+
+    def __init__(self, sim: "Simulator", name: str, fn: Callable, args: tuple) -> None:
+        super().__init__(sim, name)
+        self._fn = fn
+        self._args = args
+        self._gen: Optional[GeneratorType] = None
+        self._waiting_on: Optional[Future] = None
+        self._wait_timeout: Optional[float] = None
+
+    # -- scheduler side -------------------------------------------------
+
+    def _start(self) -> None:
+        gen = self._fn(self, *self._args)
+        if not isinstance(gen, GeneratorType):
+            self._finish_task(gen, None)    # ran to completion synchronously
+            return
+        self._gen = gen
+        self._advance(None, None)
+
+    def _advance(self, value: Any, exc: Optional[BaseException]) -> None:
+        """Trampoline: resume the generator and service its requests.
+
+        Runs until the task suspends on a pending future or finishes.
+        Requests on already-done futures are serviced in the loop without
+        suspending -- exactly as :meth:`SimThread.wait` never blocks on a
+        done future -- while still registering the same wake event for
+        sequence-number parity.
+        """
+        if self.finished:
+            return
+        sim = self.sim
+        previous = sim._current_task
+        sim._current_task = self
+        _perf.task_switches += 1
+        _TASK_SWITCHES.value += 1
+        gen = self._gen
+        try:
+            while True:
+                try:
+                    request = gen.throw(exc) if exc is not None else gen.send(value)
+                except StopIteration as stop:
+                    self._finish_task(stop.value, None)
+                    return
+                except BaseException as error:  # noqa: BLE001 - surfaced via .exception
+                    self._finish_task(None, error)
+                    return
+                value = None
+                exc = None
+                kind = type(request)
+                if kind is Sleep:
+                    duration = request.duration
+                    if duration < 0:
+                        exc = ValueError("cannot sleep a negative duration")
+                        continue
+                    future = Future(sim)
+                    sim.schedule(duration, future.resolve, None)
+                    timeout = None
+                elif kind is Wait:
+                    future = request.future
+                    timeout = request.timeout
+                elif kind is Join:
+                    future = request.actor._done_future
+                    timeout = request.timeout
+                else:
+                    exc = SimulationError(
+                        f"task {self.name!r} yielded {request!r}; expected "
+                        f"Wait, Sleep, or Join")
+                    continue
+                if self._suspend(future, timeout):
+                    return
+                try:
+                    value = future.result()
+                except BaseException as error:  # noqa: BLE001 - rethrown in gen
+                    exc = error
+        finally:
+            sim._current_task = previous
+
+    def _suspend(self, future: Future, timeout: Optional[float]) -> bool:
+        """Register for wake-up on ``future``; True if actually suspended.
+
+        Mirrors the thread kernel's wait preamble exactly: arm the timer
+        slot first, then register the done-callback (which schedules a
+        wake event immediately when the future is already done), then
+        check completion -- so both kernels consume identical event
+        sequence numbers.
+        """
+        self._wait_generation += 1
+        generation = self._wait_generation
+
+        def _wake(_arg: Any) -> None:
+            self._wait_woken(generation)
+
+        if timeout is not None:
+            self._arm_timer(self.sim.now + timeout,
+                            lambda: self._wait_timed_out(generation))
+        future.add_done_callback(_wake)
+        if future.done:
+            if timeout is not None:
+                self._disarm_timer()
+            return False
+        self._waiting_on = future
+        self._wait_timeout = timeout
+        return True
+
+    def _wait_woken(self, generation: int) -> None:
+        """The awaited future resolved: resume with its result."""
+        if self.finished or generation != self._wait_generation:
+            return      # stale registration from an abandoned wait
+        future = self._waiting_on
+        if future is None or not future.done:
+            return      # already resumed at this instant
+        self._waiting_on = None
+        if self._wait_timeout is not None:
+            self._disarm_timer()
+        self._wait_timeout = None
+        try:
+            value, exc = future.result(), None
+        except BaseException as error:  # noqa: BLE001 - rethrown in gen
+            value, exc = None, error
+        self._advance(value, exc)
+
+    def _wait_timed_out(self, generation: int) -> None:
+        """The timer slot fired for the current wait."""
+        if self.finished or generation != self._wait_generation:
+            return
+        future = self._waiting_on
+        if future is None:
+            return
+        self._waiting_on = None
+        timeout = self._wait_timeout
+        self._wait_timeout = None
+        if future.done:
+            # The future won at this same instant (resolved earlier in the
+            # tick, wake event still queued): deliver its result now, just
+            # as the thread kernel's wait loop does, and let the queued
+            # wake arrive stale.
+            try:
+                value, exc = future.result(), None
+            except BaseException as error:  # noqa: BLE001 - rethrown in gen
+                value, exc = None, error
+            self._advance(value, exc)
+            return
+        self._advance(None, SimTimeoutError(f"wait timed out after {timeout}s"))
+
+    def _finish_task(self, result: Any,
+                     exception: Optional[BaseException]) -> None:
+        self.finished = True
+        self.result = result
+        self.exception = exception
+        # Drop the frames eagerly: at N=100k actors, retaining every
+        # finished generator (and its closed-over locals) is the
+        # difference between O(live tasks) and O(all tasks) memory.
+        self._gen = None
+        self._fn = None
+        self._args = ()
+        self._waiting_on = None
+        if exception is not None:
+            # Retain failed actors so check_failures() can surface them.
+            self.sim._threads.append(self)
+            if not self._done_future.done:
+                self._done_future.reject(exception)
+        elif not self._done_future.done:
+            self._done_future.resolve(result)
+
+
+#: Either kind of actor handle; blocking operations accept both.
+Actor = Union[SimThread, SimTask]
+
+
+def _find_actor(args: tuple, kwargs: dict) -> Optional[Actor]:
+    for value in args:
+        if isinstance(value, (SimThread, SimTask)):
+            return value
+    for value in kwargs.values():
+        if isinstance(value, (SimThread, SimTask)):
+            return value
+    return None
+
+
+def _drive_blocking(thread: SimThread, gen: GeneratorType) -> Any:
+    """Run a task-style generator to completion on a legacy sim-thread.
+
+    Services each yielded request with the corresponding SimThread
+    primitive and sends the outcome (value or exception) back into the
+    generator, so one generator body behaves identically under both
+    kernels.  While driving, nested :func:`blocking` calls on this thread
+    return their generators (``thread._driving``) and delegate here via
+    ``yield from``.
+    """
+    previous = thread._driving
+    thread._driving = True
+    try:
+        value: Any = None
+        exc: Optional[BaseException] = None
+        while True:
+            try:
+                request = gen.throw(exc) if exc is not None else gen.send(value)
+            except StopIteration as stop:
+                return stop.value
+            value = None
+            exc = None
+            try:
+                kind = type(request)
+                if kind is Sleep:
+                    thread.sleep(request.duration)
+                elif kind is Wait:
+                    value = thread.wait(request.future, request.timeout)
+                elif kind is Join:
+                    value = thread.join(request.actor, request.timeout)
+                else:
+                    raise SimulationError(
+                        f"blocking operation yielded {request!r}; expected "
+                        f"Wait, Sleep, or Join")
+            except BaseException as error:  # noqa: BLE001 - rethrown in gen
+                exc = error
+    finally:
+        thread._driving = previous
+
+
+def _drive_inline(gen: GeneratorType) -> Any:
+    """Exhaust a blocking generator that must not actually suspend.
+
+    Used when a :func:`blocking` operation is invoked without an actor
+    (event-handler context): the operation's side effects still run, but
+    any attempt to suspend is a scheduler-misuse error.
+    """
+    try:
+        next(gen)
+    except StopIteration as stop:
+        return stop.value
+    raise SimulationError("blocking operation suspended outside an actor")
+
+
+def blocking(fn: Callable) -> Callable:
+    """Write a blocking operation once -- as a generator -- for both kernels.
+
+    The wrapped generator function yields :class:`Wait`/:class:`Sleep`/
+    :class:`Join` requests (and delegates to other blocking operations
+    with ``yield from``).  At call time the wrapper inspects the actor
+    argument:
+
+    * called with a :class:`SimTask` (or from inside a driven generator):
+      returns the generator for the caller to ``yield from``;
+    * called with an idle :class:`SimThread` (legacy thread-style call
+      sites, e.g. tests): drives the generator to completion synchronously
+      via :func:`_drive_blocking`, preserving the old blocking signature;
+    * called with no actor at all: runs inline, where suspending is an
+      error.
+    """
+    assert inspect.isgeneratorfunction(fn), fn
+
+    @functools.wraps(fn)
+    def wrapper(*args: Any, **kwargs: Any) -> Any:
+        gen = fn(*args, **kwargs)
+        actor = _find_actor(args, kwargs)
+        if actor is None:
+            return _drive_inline(gen)
+        if isinstance(actor, SimThread) and not actor._driving:
+            return _drive_blocking(actor, gen)
+        return gen
+
+    wrapper._blocking_inner = fn
+    return wrapper
 
 
 class Simulator:
@@ -306,8 +673,11 @@ class Simulator:
         self._seq = 0
         self._seq_counted = 0   # events_scheduled accounted up to this seq
         self._cancelled = 0
-        self._threads: list[SimThread] = []
+        # Legacy sim-threads (all of them) plus failed tasks; successful
+        # tasks are dropped on completion to keep memory O(live actors).
+        self._threads: list[Actor] = []
         self._running = False
+        self._current_task: Optional[SimTask] = None
 
     # -- scheduling -------------------------------------------------------
 
@@ -336,15 +706,27 @@ class Simulator:
         heapq.heappush(self._heap, (event.time, seq, event))
         return event
 
-    # -- sim-threads -------------------------------------------------------
+    # -- actors ------------------------------------------------------------
 
     def spawn(self, fn: Callable, *args: Any, name: str = "actor",
-              delay: float = 0.0) -> SimThread:
-        """Create a blocking actor; it starts after ``delay`` sim-seconds."""
-        thread = SimThread(self, name, fn, args)
-        self._threads.append(thread)
-        self.schedule(delay, thread._start)
-        return thread
+              delay: float = 0.0) -> Actor:
+        """Create a blocking actor; it starts after ``delay`` sim-seconds.
+
+        Generator functions run on the coroutine :class:`SimTask` kernel;
+        plain callables fall back to the deprecated :class:`SimThread`
+        kernel (one real OS thread per actor).
+        """
+        if inspect.isgeneratorfunction(fn):
+            actor: Actor = SimTask(self, name, fn, args)
+            _perf.tasks_spawned += 1
+            _TASKS_SPAWNED.value += 1
+        else:
+            actor = SimThread(self, name, fn, args)
+            self._threads.append(actor)
+            _perf.legacy_threads_spawned += 1
+            _THREADS_SPAWNED.value += 1
+        self.schedule(delay, actor._start)
+        return actor
 
     def _wake_thread(self, thread: SimThread) -> None:
         if not thread.finished:
@@ -355,11 +737,13 @@ class Simulator:
     def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> None:
         """Process events in order until the queue drains (or ``until``).
 
-        Sim-thread wake-ups happen synchronously inside their events, so
-        when this returns with an empty queue every actor is parked or done.
+        Actor wake-ups happen synchronously inside their events, so when
+        this returns with an empty queue every actor is parked or done.
+        ``max_events`` is an exact bound: the run raises before event
+        ``max_events + 1`` would execute.
         """
         if self._running:
-            raise SimulationError("run() re-entered; use sim-threads to block")
+            raise SimulationError("run() re-entered; use actors to block")
         self._running = True
         profile = active_profile()
         if profile is not None:
@@ -377,12 +761,12 @@ class Simulator:
                     continue
                 if until is not None and time > until:
                     break
+                if processed >= max_events:
+                    raise SimulationError(f"exceeded {max_events} events; runaway simulation?")
                 pop(heap)
                 self.now = time
                 event.fn(*event.args)
                 processed += 1
-                if processed > max_events:
-                    raise SimulationError(f"exceeded {max_events} events; runaway simulation?")
                 if self._cancelled >= _COMPACT_MIN_CANCELLED and self._cancelled * 2 > len(heap):
                     self._compact()
                     heap = self._heap
@@ -416,17 +800,17 @@ class Simulator:
         self._cancelled = 0
         _perf.heap_compactions += 1
 
-    def run_until_done(self, thread: SimThread, until: Optional[float] = None) -> Any:
-        """Run the simulation until ``thread`` completes, then return its result."""
+    def run_until_done(self, actor: Actor, until: Optional[float] = None) -> Any:
+        """Run the simulation until ``actor`` completes, then return its result."""
         self.run(until=until)
-        if not thread.finished:
-            raise SimTimeoutError(f"sim-thread {thread.name!r} did not finish by t={self.now}")
-        if thread.exception is not None:
-            raise thread.exception
-        return thread.result
+        if not actor.finished:
+            raise SimTimeoutError(f"actor {actor.name!r} did not finish by t={self.now}")
+        if actor.exception is not None:
+            raise actor.exception
+        return actor.result
 
     def check_failures(self) -> None:
-        """Raise the first exception any finished sim-thread recorded."""
+        """Raise the first exception any finished actor recorded."""
         for thread in self._threads:
             if thread.finished and thread.exception is not None:
                 raise thread.exception

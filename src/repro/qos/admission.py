@@ -28,7 +28,8 @@ from typing import Optional
 
 from repro.core.errors import ServerBusy
 from repro.core.manifest import FunctionManifest
-from repro.netsim.simulator import Future, SimThread, SimTimeoutError
+from repro.netsim.simulator import (Actor, Future, SimTimeoutError, Wait,
+                                    blocking)
 from repro.sandbox.cgroups import CGroup, ResourceExceeded
 
 
@@ -103,7 +104,8 @@ class AdmissionController:
         self._held.add(key)
         return True
 
-    def admit(self, thread: SimThread, key: object,
+    @blocking
+    def admit(self, thread: Actor, key: object,
               priority: str = "bulk") -> float:
         """Block until ``key`` holds a slot; returns the queued duration.
 
@@ -124,7 +126,7 @@ class AdmissionController:
         self._queue.append(waiter)
         self._queue.sort(key=self._wake_rank)
         try:
-            thread.wait(waiter.future, timeout=self.queue_timeout_s)
+            yield Wait(waiter.future, self.queue_timeout_s)
         except SimTimeoutError:
             if waiter in self._queue:
                 self._queue.remove(waiter)

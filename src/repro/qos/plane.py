@@ -30,7 +30,7 @@ from typing import Optional
 from repro.core.errors import PuzzleRequired, ServerBusy
 from repro.core.manifest import PRIORITY_CLASSES
 from repro.functions.ddos_defense import AdmissionPuzzle
-from repro.netsim.simulator import SimThread
+from repro.netsim.simulator import Actor, Sleep, blocking
 from repro.obs.metrics import REGISTRY as _metrics
 from repro.perf.counters import counters as _perf
 from repro.qos.admission import AdmissionController
@@ -108,7 +108,8 @@ class ServingPlane:
 
     # -- admission ---------------------------------------------------------
 
-    def admit_request(self, thread: SimThread, conn, message: dict) -> object:
+    @blocking
+    def admit_request(self, thread: Actor, conn, message: dict) -> object:
         """Gate one ``request_image``; returns the admission key.
 
         The caller must hand the key to :meth:`attach_instance` once the
@@ -129,7 +130,7 @@ class ServingPlane:
         self._key_seq += 1
         key = ("adm", self._key_seq)
         try:
-            waited = self.admission.admit(thread, key, priority)
+            waited = yield from self.admission.admit(thread, key, priority)
         except ServerBusy:
             self._m_rejected.value += 1
             _perf.qos_rejected += 1
@@ -202,16 +203,18 @@ class ServingPlane:
 
     # -- scheduling --------------------------------------------------------
 
-    def charge_cpu(self, thread: Optional[SimThread], instance,
+    @blocking
+    def charge_cpu(self, thread: Optional[Actor], instance,
                    cost_ms: float) -> None:
         """Meter cpu milliseconds; sleep out any fair-share pacing delay."""
         key = getattr(instance, "qos_key", None)
         if key is None or cost_ms <= 0:
             return
         delay = self.cpu_queue.charge(key, cost_ms, self.server.sim.now)
-        self._pace(thread, delay)
+        yield from self._pace(thread, delay)
 
-    def charge_net(self, thread: Optional[SimThread], instance,
+    @blocking
+    def charge_net(self, thread: Optional[Actor], instance,
                    nbytes: int) -> None:
         """Meter egress/ingress bytes through the fair queue + bucket."""
         key = getattr(instance, "qos_key", None)
@@ -222,12 +225,12 @@ class ServingPlane:
         bucket = self._buckets.get(key)
         if bucket is not None:
             delay = max(delay, bucket.reserve(float(nbytes), now))
-        self._pace(thread, delay)
+        yield from self._pace(thread, delay)
 
-    def _pace(self, thread: Optional[SimThread], delay: float) -> None:
+    def _pace(self, thread: Optional[Actor], delay: float):
         if delay > 0 and thread is not None:
             _perf.qos_throttles += 1
-            thread.sleep(delay)
+            yield Sleep(delay)
 
     # -- shedding & advertisement ------------------------------------------
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 import itertools
 from typing import Optional
 
-from repro.netsim.simulator import SimThread
+from repro.netsim.simulator import Actor, blocking
 from repro.tor.circuit import Circuit
 from repro.tor.client import TorClient
 from repro.tor.descriptor import RelayDescriptor
@@ -35,13 +35,14 @@ class Controller:
 
     # -- circuits -----------------------------------------------------------
 
-    def new_circuit(self, thread: SimThread,
+    @blocking
+    def new_circuit(self, thread: Actor,
                     path: Optional[list[RelayDescriptor]] = None,
                     length: int = 3,
                     exit_to: Optional[tuple[str, int]] = None,
                     final_hop: Optional[RelayDescriptor] = None) -> str:
         """Build a circuit; returns its controller id."""
-        circuit = self._client.build_circuit(
+        circuit = yield from self._client.build_circuit(
             thread, path=path, length=length, exit_to=exit_to,
             final_hop=final_hop)
         circuit_id = str(next(self._ids))
@@ -64,12 +65,15 @@ class Controller:
         self.get_circuit(circuit_id).close()
         self._circuits.pop(circuit_id, None)
 
-    def attach_stream(self, thread: SimThread, circuit_id: str, host: str,
+    @blocking
+    def attach_stream(self, thread: Actor, circuit_id: str, host: str,
                       port: int) -> TorStream:
         """Open a stream on an existing circuit (stem's ATTACHSTREAM)."""
-        return self.get_circuit(circuit_id).open_stream(thread, host, port)
+        return (yield from self.get_circuit(circuit_id).open_stream(
+            thread, host, port))
 
-    def fetch(self, thread: SimThread, circuit_id: str, url: str,
+    @blocking
+    def fetch(self, thread: Actor, circuit_id: str, url: str,
               offset: Optional[int] = None, length: Optional[int] = None,
               timeout: float = 600.0) -> dict:
         """One HTTP(S) GET through an existing circuit.
@@ -81,11 +85,13 @@ class Controller:
         from repro.netsim.http import fetch as http_fetch, parse_url
 
         parsed = parse_url(url)
-        stream = self.attach_stream(thread, circuit_id, parsed.host, parsed.port)
+        stream = yield from self.attach_stream(thread, circuit_id,
+                                               parsed.host, parsed.port)
         framed = FramedStream(stream)
         try:
-            response = http_fetch(thread, framed, parsed.path, url=url,
-                                  timeout=timeout, offset=offset, length=length)
+            response = yield from http_fetch(thread, framed, parsed.path,
+                                             url=url, timeout=timeout,
+                                             offset=offset, length=length)
         finally:
             framed.close()
         return {"status": response.status, "body": response.body,
@@ -109,7 +115,8 @@ class Controller:
 
     # -- hidden services ----------------------------------------------------------
 
-    def create_hidden_service(self, thread: SimThread, handler: StreamHandler,
+    @blocking
+    def create_hidden_service(self, thread: Actor, handler: StreamHandler,
                               n_intro: int = 3, keypair=None,
                               establish: bool = True,
                               manual_introductions: bool = False) -> HiddenService:
@@ -124,20 +131,22 @@ class Controller:
         service = HiddenService(self._client, handler, keypair=keypair)
         service.manual_introductions = manual_introductions
         if establish:
-            service.establish(thread, n_intro=n_intro)
+            yield from service.establish(thread, n_intro=n_intro)
         self._services[str(service.onion_address)] = service
         return service
 
-    def wait_introduction(self, thread: SimThread, service: HiddenService,
+    @blocking
+    def wait_introduction(self, thread: Actor, service: HiddenService,
                           timeout: Optional[float] = None) -> dict:
         """Next queued introduction for a manual-mode service."""
-        return service.wait_introduction(thread, timeout=timeout)
+        return (yield from service.wait_introduction(thread, timeout=timeout))
 
-    def complete_rendezvous(self, thread: SimThread, service: HiddenService,
+    @blocking
+    def complete_rendezvous(self, thread: Actor, service: HiddenService,
                             request: dict):
         """Answer one introduction: build the rendezvous circuit (§8.2's
         delegation seam — a replica can do this with copied key material)."""
-        return service.complete_rendezvous(thread, request)
+        return (yield from service.complete_rendezvous(thread, request))
 
     def remove_hidden_service(self, onion_address: str) -> None:
         """Shut a hidden service down."""
@@ -146,10 +155,12 @@ class Controller:
             raise ControllerError(f"unknown hidden service: {onion_address}")
         service.shut_down()
 
-    def connect_to_hidden_service(self, thread: SimThread,
+    @blocking
+    def connect_to_hidden_service(self, thread: Actor,
                                   onion_address: str) -> Circuit:
         """Client-side rendezvous to someone else's hidden service."""
-        return self._client.connect_to_hidden_service(thread, onion_address)
+        return (yield from self._client.connect_to_hidden_service(
+            thread, onion_address))
 
     # -- padding / raw cells ----------------------------------------------------------
 

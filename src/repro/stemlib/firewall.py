@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.netsim.simulator import SimThread
+from repro.netsim.simulator import Actor, blocking
 from repro.stemlib.controller import Controller, ControllerError
 from repro.util.errors import ReproError
 
@@ -72,10 +72,11 @@ class StemFirewall:
 
     # -- mediated routines ----------------------------------------------------
 
-    def new_circuit(self, thread: SimThread, **kwargs) -> str:
+    @blocking
+    def new_circuit(self, thread: Actor, **kwargs) -> str:
         """Mediated :meth:`Controller.new_circuit`."""
         self._check("new_circuit")
-        circuit_id = self._controller.new_circuit(thread, **kwargs)
+        circuit_id = yield from self._controller.new_circuit(thread, **kwargs)
         self._owned_circuits.add(circuit_id)
         return circuit_id
 
@@ -86,12 +87,14 @@ class StemFirewall:
         self._controller.close_circuit(circuit_id)
         self._owned_circuits.discard(circuit_id)
 
-    def attach_stream(self, thread: SimThread, circuit_id: str, host: str,
+    @blocking
+    def attach_stream(self, thread: Actor, circuit_id: str, host: str,
                       port: int):
         """Mediated stream attach (ownership enforced)."""
         self._check("attach_stream", circuit_id, host, port)
         self._check_circuit(circuit_id)
-        return self._controller.attach_stream(thread, circuit_id, host, port)
+        return (yield from self._controller.attach_stream(
+            thread, circuit_id, host, port))
 
     def get_network_statuses(self):
         """Mediated consensus listing."""
@@ -103,41 +106,46 @@ class StemFirewall:
         self._check("get_info", key)
         return self._controller.get_info(key)
 
-    def create_hidden_service(self, thread: SimThread, handler,
+    @blocking
+    def create_hidden_service(self, thread: Actor, handler,
                               n_intro: int = 3, keypair=None,
                               establish: bool = True,
                               manual_introductions: bool = False):
         """Mediated hidden-service creation (ownership recorded)."""
         self._check("create_hidden_service")
-        service = self._controller.create_hidden_service(
+        service = yield from self._controller.create_hidden_service(
             thread, handler, n_intro=n_intro, keypair=keypair,
             establish=establish, manual_introductions=manual_introductions)
         self._owned_services.add(str(service.onion_address))
         return service
 
-    def hs_wait_introduction(self, thread: SimThread, service,
+    @blocking
+    def hs_wait_introduction(self, thread: Actor, service,
                              timeout: Optional[float] = None) -> dict:
         """Mediated introduction wait (ownership enforced)."""
         self._check("hs_wait_introduction")
         self._check_service(str(service.onion_address))
-        return self._controller.wait_introduction(thread, service,
-                                                  timeout=timeout)
+        return (yield from self._controller.wait_introduction(
+            thread, service, timeout=timeout))
 
-    def hs_complete_rendezvous(self, thread: SimThread, service, request: dict):
+    @blocking
+    def hs_complete_rendezvous(self, thread: Actor, service, request: dict):
         """Mediated rendezvous completion (ownership enforced)."""
         self._check("hs_complete_rendezvous")
         self._check_service(str(service.onion_address))
-        return self._controller.complete_rendezvous(thread, service, request)
+        return (yield from self._controller.complete_rendezvous(
+            thread, service, request))
 
-    def fetch(self, thread: SimThread, circuit_id: str, url: str,
+    @blocking
+    def fetch(self, thread: Actor, circuit_id: str, url: str,
               offset: Optional[int] = None, length: Optional[int] = None,
               timeout: float = 600.0) -> dict:
         """Mediated HTTP fetch through an owned circuit."""
         self._check("fetch", circuit_id, url)
         self._check_circuit(circuit_id)
-        return self._controller.fetch(thread, circuit_id, url,
-                                      offset=offset, length=length,
-                                      timeout=timeout)
+        return (yield from self._controller.fetch(
+            thread, circuit_id, url, offset=offset, length=length,
+            timeout=timeout))
 
     def _check_service(self, onion_address: str) -> None:
         if onion_address not in self._owned_services:
@@ -153,10 +161,12 @@ class StemFirewall:
         self._controller.remove_hidden_service(onion_address)
         self._owned_services.discard(onion_address)
 
-    def connect_to_hidden_service(self, thread: SimThread, onion_address: str):
+    @blocking
+    def connect_to_hidden_service(self, thread: Actor, onion_address: str):
         """Mediated client-side rendezvous."""
         self._check("connect_to_hidden_service", onion_address)
-        return self._controller.connect_to_hidden_service(thread, onion_address)
+        return (yield from self._controller.connect_to_hidden_service(
+            thread, onion_address))
 
     def send_padding(self, circuit_id: str, hop_index: Optional[int] = None,
                      payload: bytes = b"") -> None:

@@ -20,7 +20,7 @@ from collections import deque
 from typing import Callable, Optional
 
 from repro.netsim.connection import Connection, ConnectionClosed
-from repro.netsim.simulator import Future, SimThread
+from repro.netsim.simulator import Actor, Future, Wait, blocking
 from repro.obs.metrics import REGISTRY as _metrics
 from repro.obs.span import TRACER as _obs
 from repro.perf.counters import counters as _perf
@@ -237,10 +237,11 @@ class Circuit:
             self._control_waiters.setdefault(command, []).append(future)
         return future
 
-    def wait_control(self, thread: SimThread, command: RelayCommand,
+    @blocking
+    def wait_control(self, thread: Actor, command: RelayCommand,
                      timeout: Optional[float] = 120.0) -> dict:
-        """Blocking form of :meth:`expect_control` for sim-threads."""
-        return thread.wait(self.expect_control(command), timeout=timeout)
+        """Blocking form of :meth:`expect_control`."""
+        return (yield Wait(self.expect_control(command), timeout))
 
     def _deliver_control(self, command: RelayCommand, info: dict) -> None:
         waiters = self._control_waiters.get(command)
@@ -398,7 +399,8 @@ class Circuit:
 
     # -- stream creation (owner side) ----------------------------------------------
 
-    def open_stream(self, thread: SimThread, host: str, port: int,
+    @blocking
+    def open_stream(self, thread: Actor, host: str, port: int,
                     timeout: Optional[float] = 120.0):
         """BEGIN a stream to ``host:port`` via the endpoint hop (or hs peer).
 
@@ -418,7 +420,7 @@ class Circuit:
         try:
             self.send_relay(RelayCommand.BEGIN, stream_id, data,
                             to_hs=self.hs_crypto is not None)
-            stream.wait_connected(thread, timeout=timeout)
+            yield from stream.wait_connected(thread, timeout=timeout)
         except BaseException as exc:
             _CTR_STREAM_FAIL.value += 1
             if span is not None:

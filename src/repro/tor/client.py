@@ -2,7 +2,7 @@
 the client side of the hidden-service rendezvous protocol.
 
 All public methods that involve network round trips take the calling
-:class:`~repro.netsim.simulator.SimThread` and block in simulated time.
+actor (task or legacy sim-thread) and block in simulated time.
 """
 
 from __future__ import annotations
@@ -14,7 +14,8 @@ from repro.crypto.aead import AeadKey
 from repro.netsim.connection import ConnectionClosed
 from repro.netsim.network import Network, NetworkError
 from repro.netsim.node import Node
-from repro.netsim.simulator import Future, SimThread, SimTimeoutError
+from repro.netsim.simulator import (Actor, Future, Sleep, SimTimeoutError,
+                                    Wait, blocking)
 from repro.obs.metrics import REGISTRY as _metrics
 from repro.obs.span import TRACER as _obs
 from repro.perf.counters import counters as _perf
@@ -127,7 +128,8 @@ class TorClient:
 
     # -- circuit construction ------------------------------------------------
 
-    def build_circuit(self, thread: SimThread,
+    @blocking
+    def build_circuit(self, thread: Actor,
                       path: Optional[list[RelayDescriptor]] = None,
                       length: int = 3,
                       exit_to: Optional[tuple[str, int]] = None,
@@ -147,9 +149,9 @@ class TorClient:
             client=self.node.name) if log is not None else None
         t0 = self.sim.now
         try:
-            circuit = self._build_circuit(thread, path=path, length=length,
-                                          exit_to=exit_to, final_hop=final_hop,
-                                          timeout=timeout)
+            circuit = yield from self._build_circuit(
+                thread, path=path, length=length, exit_to=exit_to,
+                final_hop=final_hop, timeout=timeout)
         except BaseException as exc:
             _CTR_BUILD_FAIL.value += 1
             if span is not None:
@@ -163,7 +165,8 @@ class TorClient:
                      guard=circuit.path[0].nickname)
         return circuit
 
-    def _build_circuit(self, thread: SimThread,
+    @blocking
+    def _build_circuit(self, thread: Actor,
                        path: Optional[list[RelayDescriptor]] = None,
                        length: int = 3,
                        exit_to: Optional[tuple[str, int]] = None,
@@ -196,7 +199,7 @@ class TorClient:
 
         guard = path[0]
         try:
-            conn = self.network.connect_blocking(
+            conn = yield from self.network.connect_blocking(
                 thread, self.node, guard.address, guard.or_port, timeout=timeout)
         except (NetworkError, SimTimeoutError):
             self.note_relay_failure(guard.identity_fp)
@@ -209,7 +212,7 @@ class TorClient:
             self._rng.fork(f"ntor:{circuit.circ_id}:0"), guard.identity_fp)
         try:
             created = circuit.send_raw_create(state.onionskin)
-            reply = thread.wait(created, timeout=timeout)
+            reply = yield Wait(created, timeout)
         except (SimTimeoutError, CircuitDestroyed):
             self.note_relay_failure(guard.identity_fp)
             circuit.close()
@@ -237,7 +240,7 @@ class TorClient:
                     lambda fut: race.resolve(("extended", fut)) if not race.done else None)
                 failed.add_done_callback(
                     lambda fut: race.resolve(("end", fut)) if not race.done else None)
-                kind, fut = thread.wait(race, timeout=timeout)
+                kind, fut = yield Wait(race, timeout)
                 if kind == "end":
                     self.note_relay_failure(relay.identity_fp)
                     circuit.close()
@@ -256,7 +259,8 @@ class TorClient:
         self.circuits.append(circuit)
         return circuit
 
-    def build_circuit_with_retry(self, thread: SimThread, attempts: int = 3,
+    @blocking
+    def build_circuit_with_retry(self, thread: Actor, attempts: int = 3,
                                  backoff_s: float = 1.0,
                                  timeout: float = 120.0,
                                  **kwargs) -> Circuit:
@@ -269,14 +273,15 @@ class TorClient:
         last: Optional[BaseException] = None
         for attempt in range(attempts):
             try:
-                circuit = self.build_circuit(thread, timeout=timeout, **kwargs)
+                circuit = yield from self.build_circuit(
+                    thread, timeout=timeout, **kwargs)
             except (TorError, NetworkError, SimTimeoutError,
                     CircuitDestroyed) as exc:
                 last = exc
                 if attempt == attempts - 1:
                     break
                 delay = backoff_s * (2 ** attempt) * (0.5 + self._rng.random())
-                thread.sleep(delay)
+                yield Sleep(delay)
                 continue
             if attempt > 0:
                 _perf.circuits_rebuilt += 1
@@ -296,14 +301,17 @@ class TorClient:
 
     # -- streams --------------------------------------------------------------
 
-    def open_stream(self, thread: SimThread, circuit: Circuit, host: str,
+    @blocking
+    def open_stream(self, thread: Actor, circuit: Circuit, host: str,
                     port: int, timeout: float = 120.0) -> TorStream:
         """BEGIN a stream through an existing circuit."""
-        return circuit.open_stream(thread, host, port, timeout=timeout)
+        return (yield from circuit.open_stream(thread, host, port,
+                                               timeout=timeout))
 
     # -- hidden services: client side --------------------------------------------
 
-    def connect_to_hidden_service(self, thread: SimThread, onion_address: str,
+    @blocking
+    def connect_to_hidden_service(self, thread: Actor, onion_address: str,
                                   timeout: float = 240.0,
                                   intro_extra=None) -> Circuit:
         """The full client rendezvous dance (§2.1).
@@ -321,7 +329,7 @@ class TorClient:
             if log is not None else None
         t0 = self.sim.now
         try:
-            circuit = self._connect_to_hidden_service(
+            circuit = yield from self._connect_to_hidden_service(
                 thread, onion_address, timeout=timeout,
                 intro_extra=intro_extra)
         except BaseException as exc:
@@ -333,7 +341,8 @@ class TorClient:
             span.end(self.sim.now, ok=True, circ_id=circuit.circ_id)
         return circuit
 
-    def _connect_to_hidden_service(self, thread: SimThread,
+    @blocking
+    def _connect_to_hidden_service(self, thread: Actor,
                                    onion_address: str,
                                    timeout: float = 240.0,
                                    intro_extra=None) -> Circuit:
@@ -351,14 +360,15 @@ class TorClient:
 
         # 1. Establish a rendezvous point on a fresh circuit.
         rp = selector.pick_middle()
-        rend_circuit = self.build_circuit(thread, final_hop=rp, timeout=timeout)
+        rend_circuit = yield from self.build_circuit(thread, final_hop=rp,
+                                                     timeout=timeout)
         cookie = self._rng.randbytes(20)
         established = rend_circuit.expect_control(
             RelayCommand.RENDEZVOUS_ESTABLISHED)
         rend_circuit.send_relay(RelayCommand.ESTABLISH_RENDEZVOUS, 0,
                                 canonical_encode({"cookie": cookie}))
         try:
-            thread.wait(established, timeout=timeout)
+            yield Wait(established, timeout)
         except (SimTimeoutError, CircuitDestroyed):
             rend_circuit.close()
             raise
@@ -372,8 +382,8 @@ class TorClient:
         intro_fp = self._rng.choice(intro_candidates)
         intro_relay = consensus.find(intro_fp)
         try:
-            intro_circuit = self.build_circuit(thread, final_hop=intro_relay,
-                                               timeout=timeout)
+            intro_circuit = yield from self.build_circuit(
+                thread, final_hop=intro_relay, timeout=timeout)
         except (TorError, NetworkError, SimTimeoutError, CircuitDestroyed):
             self.note_relay_failure(intro_fp)
             rend_circuit.close()
@@ -404,7 +414,7 @@ class TorClient:
                                          "service": onion_address,
                                          "blob": blob,
                                      }))
-            ack_info = thread.wait(ack, timeout=timeout)
+            ack_info = yield Wait(ack, timeout)
         except (SimTimeoutError, CircuitDestroyed, ConnectionClosed):
             # The intro relay is up but the service's side of the intro
             # circuit is gone (e.g. the relay crashed and came back
@@ -421,8 +431,8 @@ class TorClient:
 
         # 3. Wait for the service at the rendezvous point.
         try:
-            rend2 = rend_circuit.wait_control(thread, RelayCommand.RENDEZVOUS2,
-                                              timeout=timeout)
+            rend2 = yield from rend_circuit.wait_control(
+                thread, RelayCommand.RENDEZVOUS2, timeout=timeout)
         except (SimTimeoutError, CircuitDestroyed):
             rend_circuit.close()
             raise

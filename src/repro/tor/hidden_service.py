@@ -17,7 +17,7 @@ from typing import Callable, Optional
 
 from repro.crypto.aead import AeadKey
 from repro.crypto.rsa import RsaKeyPair
-from repro.netsim.simulator import SimThread
+from repro.netsim.simulator import Actor, Wait, blocking
 from repro.tor import ntor
 from repro.tor.cell import RelayCommand
 from repro.tor.circuit import HS_SERVICE, Circuit
@@ -70,7 +70,8 @@ class HiddenService:
 
     # -- setup -----------------------------------------------------------
 
-    def establish(self, thread: SimThread, n_intro: int = 3,
+    @blocking
+    def establish(self, thread: Actor, n_intro: int = 3,
                   timeout: float = 240.0) -> None:
         """Create intro circuits and publish the first descriptor."""
         selector = self.client.path_selector()
@@ -78,12 +79,12 @@ class HiddenService:
         for _ in range(n_intro):
             intro_relay = selector.pick_middle(exclude=used)
             used.add(intro_relay.identity_fp)
-            circuit = self.client.build_circuit(thread, final_hop=intro_relay,
-                                                timeout=timeout)
+            circuit = yield from self.client.build_circuit(
+                thread, final_hop=intro_relay, timeout=timeout)
             established = circuit.expect_control(RelayCommand.INTRO_ESTABLISHED)
             circuit.send_relay(RelayCommand.ESTABLISH_INTRO, 0,
                                canonical_encode({"auth": str(self.onion_address)}))
-            thread.wait(established, timeout=timeout)
+            yield Wait(established, timeout)
             circuit.on_introduce2 = self._on_introduce2
             self.intro_circuits.append(circuit)
             self.intro_points.append(intro_relay)
@@ -125,7 +126,8 @@ class HiddenService:
         self.sim.spawn(self._rendezvous_worker, request,
                        name=f"hs-rend:{self.onion_address[:8]}")
 
-    def wait_introduction(self, thread: SimThread,
+    @blocking
+    def wait_introduction(self, thread: Actor,
                           timeout: Optional[float] = None) -> dict:
         """Block until an introduction arrives (manual mode only)."""
         from repro.netsim.simulator import Future
@@ -134,7 +136,7 @@ class HiddenService:
             raise HiddenServiceError("service is not in manual-introduction mode")
         while not self.introduction_queue:
             self._intro_waiter = Future(self.sim)
-            thread.wait(self._intro_waiter, timeout=timeout)
+            yield Wait(self._intro_waiter, timeout)
             self._intro_waiter = None
         return self.introduction_queue.pop(0)
 
@@ -142,10 +144,11 @@ class HiddenService:
         """The service identity for replica cloning (§8.2)."""
         return self.keypair.export_parts()
 
-    def _rendezvous_worker(self, thread: SimThread, request: dict) -> None:
-        self.complete_rendezvous(thread, request)
+    def _rendezvous_worker(self, thread: Actor, request: dict):
+        yield from self.complete_rendezvous(thread, request)
 
-    def complete_rendezvous(self, thread: SimThread, request: dict,
+    @blocking
+    def complete_rendezvous(self, thread: Actor, request: dict,
                             timeout: float = 240.0) -> Circuit:
         """Build a circuit to the client's rendezvous point and join it.
 
@@ -161,8 +164,8 @@ class HiddenService:
         if rp_descriptor is None:
             raise HiddenServiceError("rendezvous point not in consensus")
 
-        circuit = self.client.build_circuit(thread, final_hop=rp_descriptor,
-                                            timeout=timeout)
+        circuit = yield from self.client.build_circuit(
+            thread, final_hop=rp_descriptor, timeout=timeout)
         keys, reply = ntor.server_respond(
             self._rng.fork(f"rend:{self.sim.now}"),
             str(self.onion_address),

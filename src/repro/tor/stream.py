@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.netsim.bytestream import StreamClosed, _RecvQueue
-from repro.netsim.simulator import Future, SimThread
+from repro.netsim.simulator import Actor, Future, Wait, blocking
 from repro.tor.cell import RelayCommand
 from repro.util.errors import ProtocolError
 from repro.util.serialization import canonical_encode
@@ -35,13 +35,14 @@ class TorStream:
 
     # -- connection setup ------------------------------------------------
 
-    def wait_connected(self, thread: SimThread,
+    @blocking
+    def wait_connected(self, thread: Actor,
                        timeout: Optional[float] = 120.0) -> None:
         """Block until the endpoint confirms (CONNECTED) or refuses (END)."""
         if self.connected:
             return
         self._connect_waiter = Future(self.circuit.sim)
-        thread.wait(self._connect_waiter, timeout=timeout)
+        yield Wait(self._connect_waiter, timeout)
         self._connect_waiter = None
 
     def _on_connected(self, info: dict) -> None:
@@ -60,10 +61,11 @@ class TorStream:
             self.circuit.send_stream_data(
                 self.stream_id, data if isinstance(data, bytes) else bytes(data))
 
-    def recv(self, thread: SimThread, timeout: Optional[float] = None,
+    @blocking
+    def recv(self, thread: Actor, timeout: Optional[float] = None,
              min_bytes: int = 1) -> bytes:
         """Block until ``min_bytes`` bytes arrive; ``b''`` at end of stream."""
-        return self._recv.pop(thread, timeout, min_bytes)
+        return (yield from self._recv.pop(thread, timeout, min_bytes))
 
     def close(self) -> None:
         """Half-close from our side (sends END)."""
