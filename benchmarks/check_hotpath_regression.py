@@ -29,6 +29,10 @@ import sys
 from pathlib import Path
 
 #: Counters proportional to bytes transferred; ratio-guarded per byte.
+#: ``task_switches`` is deliberately absent: suspensions are a per-actor
+#: fixed overhead (~39 for the 10 MB macro and ~30 for the 1 MB smoke),
+#: so a per-byte ratio between different transfer sizes is meaningless —
+#: the switches-per-session budget in :func:`check_scale` guards it.
 VOLUME_COUNTERS = (
     "bytes_zero_copied",
     "cells_crypted",
@@ -38,7 +42,6 @@ VOLUME_COUNTERS = (
     "events_scheduled",
     "hash_calls",
     "keystream_bytes",
-    "task_switches",
 )
 
 #: Upper bound on kernel context switches per completed Bento session in
@@ -53,6 +56,13 @@ SECTIONS = ("macro_fast", "macro_real", "fanin")
 #: qos counter means plane code leaked into the per-byte transfer path.
 QOS_COUNTERS = ("qos_admitted", "qos_rejected", "qos_shed",
                 "qos_throttles")
+
+#: Same contract for the migration plane: default runs take no
+#: checkpoints and start no migrations, so these must all read zero (and
+#: thus add zero per-byte cost) whenever the plane is left off.
+MIGRATE_COUNTERS = ("checkpoints_taken", "migrations_started",
+                    "migrations_completed", "migrations_failed",
+                    "standby_promotions")
 
 
 def check(reference: dict, current: dict, tolerance: float) -> list[str]:
@@ -84,6 +94,12 @@ def check(reference: dict, current: dict, tolerance: float) -> list[str]:
                     f"{section}: {name} = {cur['counters'][name]} — the "
                     f"serving plane ran with qos disabled; it must stay "
                     f"out of the hot path")
+        for name in MIGRATE_COUNTERS:
+            if cur["counters"].get(name, 0) != 0:
+                problems.append(
+                    f"{section}: {name} = {cur['counters'][name]} — the "
+                    f"migration plane ran in a plane-off scenario; it "
+                    f"must stay out of the hot path")
         legacy = cur["counters"].get("legacy_threads_spawned", 0)
         if legacy != 0:
             problems.append(

@@ -46,7 +46,8 @@ SOAK_DEADLINE_S = 4000.0
 
 def run_chaos_soak(seed: int = 2021, n_relays: int = 14,
                    n_visitors: int = 6, verbose: bool = False,
-                   trace_log: EventLog | None = None) -> dict:
+                   trace_log: EventLog | None = None,
+                   recovery_mode: str = "cold") -> dict:
     """Run the full chaos scenario; returns a deterministic summary dict.
 
     The dict contains only plain data (ints, strings, sorted structures)
@@ -56,6 +57,18 @@ def run_chaos_soak(seed: int = 2021, n_relays: int = 14,
     events: the log is attached to the process tracer for the duration of
     the run and detached afterwards (restoring whatever was attached
     before).  Same seed + fresh log ⇒ byte-identical exports.
+
+    ``recovery_mode`` selects how losses recover (summarized per mode in
+    the result's ``recovery`` key):
+
+    * ``"cold"`` (default) — today's respawn-from-scratch, byte-identical
+      to the pre-migration-plane soak;
+    * ``"standby"`` — the LoadBalancer keeps one warm standby replica and
+      promotes it on loss instead of respawning;
+    * ``"migrate"`` — adds a stateful kvstore tenant whose box drains it
+      to another box mid-run (servers get the migration plane);
+    * ``"tenant-cold"`` — the same tenant, but its box crashes and the
+      owner redeploys from scratch (the cold baseline for ``migrate``).
     """
     _perf.reset()
     _metrics.reset()
@@ -63,19 +76,35 @@ def run_chaos_soak(seed: int = 2021, n_relays: int = 14,
     if trace_log is not None:
         _obs.attach(trace_log)
     try:
-        return _run_soak(seed, n_relays, n_visitors, verbose)
+        return _run_soak(seed, n_relays, n_visitors, verbose, recovery_mode)
     finally:
         if trace_log is not None:
             _obs.log = previous
 
 
+def _percentile(samples: list, q: float):
+    """Nearest-rank percentile over simulated-seconds samples."""
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return round(ordered[index], 3)
+
+
 def _run_soak(seed: int, n_relays: int, n_visitors: int,
-              verbose: bool) -> dict:
+              verbose: bool, recovery_mode: str = "cold") -> dict:
+    if recovery_mode not in ("cold", "standby", "migrate", "tenant-cold"):
+        raise ValueError(f"unknown recovery_mode: {recovery_mode!r}")
     net = TorTestNetwork(n_relays=n_relays, seed=seed, bento_fraction=0.5,
                          fast_crypto=True)
     ias = IntelAttestationService(net.sim.rng.fork("ias"))
     net.ias = ias
-    net.servers = [BentoServer(r, net.authority, ias=ias, orphan_grace_s=60.0)
+    migrate_cfg = None
+    if recovery_mode == "migrate":
+        from repro.migrate import MigrationConfig
+        migrate_cfg = MigrationConfig(quiesce_poll_s=0.5)
+    net.servers = [BentoServer(r, net.authority, ias=ias, orphan_grace_s=60.0,
+                               migrate=migrate_cfg)
                    for r in net.bento_boxes()]
     plane = FaultPlane(net.network)
     fp_to_node = {r.fingerprint: r.node.name for r in net.relays}
@@ -133,7 +162,8 @@ def _run_soak(seed: int, n_relays: int, n_visitors: int,
         onion = yield from LoadBalancerFunction.start(
             thread, session, content, high_water=1, low_water=1,
             max_replicas=2, duration_s=LB_DURATION_S, poll_interval=2.0,
-            replica_image="python", announce=True)
+            replica_image="python", announce=True,
+            standbys=1 if recovery_mode == "standby" else 0)
         shared["onion"] = onion
         say(f"loadbalancer serving {onion} from {shared['lb_node']}")
         stats = None
@@ -172,6 +202,13 @@ def _run_soak(seed: int, n_relays: int, n_visitors: int,
         respawns = sum(1 for e in stats["events"] if e[1] == "respawn")
         _perf.replicas_respawned += respawns
         _metrics.counter("lb_respawns").value += respawns
+        promotions = sum(1 for e in stats["events"]
+                         if e[1] == "standby-promoted")
+        if promotions:
+            # The sandboxed balancer cannot touch host counters; surface
+            # its standby promotions the same way as its respawns.
+            _perf.standby_promotions += promotions
+            _metrics.counter("standby_promotions").value += promotions
         log = _obs.log
         if log is not None:
             # The sandboxed balancer cannot reach the tracer; surface its
@@ -209,6 +246,102 @@ def _run_soak(seed: int, n_relays: int, n_visitors: int,
         finally:
             shared["visitors_done"] += 1
 
+    # -- the stateful tenant (migrate / tenant-cold modes only) ------------
+
+    tenant_enabled = recovery_mode in ("migrate", "tenant-cold")
+    tenant_log: list = []          # (sim_time, counter value) per good op
+    tenant_state = {"redeploys": 0}
+
+    def tenant_owner(thread: Actor):
+        from repro.functions.kvstore import KvStoreFunction
+
+        # The tenant is an operator-managed probe (like the LB pushing to
+        # its replicas): direct sessions keep the recovery measurement
+        # clean of background Tor-circuit noise.
+        client = BentoClient(net.create_client("tenant"), ias=ias)
+        # Keep off the shard placements and the LB box: the tenant
+        # director kills (or drains) the tenant's box, and that must not
+        # double as an attack on the other workloads' quorum.
+        while "metadata" not in shared or "lb_node" not in shared:
+            yield Sleep(1.0)
+        risky = {p["box_fp"] for p in shared["metadata"]["placements"]}
+        risky |= {fp for fp, node in fp_to_node.items()
+                  if node == shared["lb_node"]}
+        box = client.pick_box(exclude=tuple(sorted(risky)))
+        shared["tenant_node"] = fp_to_node[box.identity_fp]
+        session = yield from client.connect_direct(thread, box)
+        yield from session.request_image(thread, "python")
+        yield from session.load_function(thread, KvStoreFunction.SOURCE,
+                                         KvStoreFunction.manifest())
+        KvStoreFunction.start(session)
+        holder = {"session": session}
+
+        def one_op():
+            return KvStoreFunction.op(
+                thread, holder["session"],
+                {"op": "incr", "key": "hits"}, timeout=15.0)
+
+        target_ops = 40
+        while (len(tenant_log) < target_ops
+               and net.sim.now < SOAK_DEADLINE_S - 600.0):
+            try:
+                reply = yield from client.retrying(
+                    thread, one_op, attempts=3, backoff_s=2.0,
+                    session=holder["session"])
+                tenant_log.append((net.sim.now, int(reply["value"])))
+                # Track where the instance lives now: a drain retargets
+                # the session, and the director must never crash the
+                # tenant's box itself (its faults are the tenant
+                # director's job).
+                moved_to = fp_to_node.get(holder["session"].box.identity_fp)
+                if moved_to:
+                    shared["tenant_node"] = moved_to
+            except RETRYABLE_ERRORS:
+                # Cold recovery: the instance (and its state) is gone for
+                # good — redeploy from scratch on a surviving box, then
+                # retry the op immediately so the log's gap measures the
+                # real outage.
+                crashed_fps = {fp for fp, node in fp_to_node.items()
+                               if node in shared["crashed"]}
+                say("tenant redeploying from scratch")
+                try:
+                    box2 = client.pick_box(exclude=tuple(sorted(crashed_fps)))
+                    fresh = yield from client.connect_direct(thread, box2)
+                    yield from fresh.request_image(thread, "python")
+                    yield from fresh.load_function(
+                        thread, KvStoreFunction.SOURCE,
+                        KvStoreFunction.manifest())
+                    KvStoreFunction.start(fresh)
+                    holder["session"] = fresh
+                    shared["tenant_node"] = fp_to_node[box2.identity_fp]
+                    tenant_state["redeploys"] += 1
+                except RETRYABLE_ERRORS:
+                    yield Sleep(5.0)    # redeploy itself failed; try again
+                continue
+            yield Sleep(5.0)
+        shared["tenant_done"] = True
+
+    def tenant_director(thread: Actor):
+        # Let the tenant accumulate some state first, then hit its box.
+        while len(tenant_log) < 4:
+            yield Sleep(2.0)
+        node = shared.get("tenant_node")
+        if node is None:
+            return
+        if recovery_mode == "migrate":
+            server = next(s for s in net.servers if s.node.name == node)
+            instance = next(
+                (i for i in server._by_invocation.values()
+                 if i.manifest is not None and i.manifest.name == "kvstore"),
+                None)
+            if instance is not None and server.migrate is not None:
+                say(f"draining tenant off {node}")
+                server.migrate.request_drain(instance)
+        else:
+            say(f"crashing tenant box {node} (permanent)")
+            plane.crash_node(node)
+            shared["crashed"].add(node)
+
     # -- the director: where the faults come from --------------------------
 
     def live_replica_nodes() -> list[str]:
@@ -244,8 +377,10 @@ def _run_soak(seed: int, n_relays: int, n_visitors: int,
         deadline = net.sim.now + 200.0
         while not live_replica_nodes() and net.sim.now < deadline:
             yield Sleep(2.0)
-        if live_replica_nodes():
-            victim = live_replica_nodes()[0]
+        victims = [n for n in live_replica_nodes()
+                   if n != shared.get("tenant_node")]
+        if victims:
+            victim = victims[0]
             plane.crash_node(victim)
             shared["crashed"].add(victim)
             say(f"crashed replica box {victim} (permanent)")
@@ -262,6 +397,7 @@ def _run_soak(seed: int, n_relays: int, n_visitors: int,
             if len(shared["crashed"] & set(placement_nodes)) >= 2:
                 break
             if target in shared["crashed"] or target == shared["lb_node"] \
+                    or target == shared.get("tenant_node") \
                     or target in live_replica_nodes():
                 continue
             plane.crash_node(target)
@@ -270,6 +406,11 @@ def _run_soak(seed: int, n_relays: int, n_visitors: int,
 
     shard_thread = net.sim.spawn(shard_owner, name="shard-owner")
     net.sim.spawn(lb_operator, name="lb-operator")
+    tenant_thread = None
+    if tenant_enabled:
+        tenant_thread = net.sim.spawn(tenant_owner, name="tenant",
+                                      delay=15.0)
+        net.sim.spawn(tenant_director, name="tenant-director", delay=40.0)
     for index in range(n_visitors):
         # Two waves: a tight burst (pushes the LB past high_water so it
         # scales up) and a trailing wave that keeps load on the service
@@ -283,11 +424,42 @@ def _run_soak(seed: int, n_relays: int, n_visitors: int,
     net.sim.spawn(director, name="director", delay=30.0)
 
     net.sim.run_until_done(shard_thread, until=SOAK_DEADLINE_S)
+    if tenant_thread is not None:
+        net.sim.run_until_done(tenant_thread, until=SOAK_DEADLINE_S)
     net.sim.check_failures()
 
     stats = shared["lb_stats"]
+
+    # Recovery-time samples per mode.  LoadBalancer losses pair with the
+    # next recovery event in its (authoritative) events list; the tenant
+    # contributes its longest op-to-op gap — the client-visible pause its
+    # recovery mode produced.
+    recovery_samples: dict[str, list] = {}
+    pending_lost: list = []
+    for event_t, kind, _detail in stats["events"]:
+        if kind == "replica-lost":
+            pending_lost.append(float(event_t))
+        elif kind in ("respawn", "standby-promoted") and pending_lost:
+            mode = "cold" if kind == "respawn" else "standby"
+            recovery_samples.setdefault(mode, []).append(
+                float(event_t) - pending_lost.pop(0))
+    tenant_summary = None
+    if tenant_enabled and len(tenant_log) >= 2:
+        gaps = [t2 - t1 for (t1, _v1), (t2, _v2)
+                in zip(tenant_log, tenant_log[1:])]
+        values = [v for _t, v in tenant_log]
+        tenant_summary = {
+            "mode": recovery_mode,
+            "ops_ok": len(tenant_log),
+            "recovery_s": round(max(gaps), 3),
+            "state_preserved": all(b > a for a, b in zip(values, values[1:])),
+            "redeploys": tenant_state["redeploys"],
+        }
+        key = "migrate" if recovery_mode == "migrate" else "cold-redeploy"
+        recovery_samples.setdefault(key, []).append(max(gaps))
     result = {
         "seed": seed,
+        "recovery_mode": recovery_mode,
         "n_relays": n_relays,
         "requests_attempted": shared["attempted"],
         "requests_recovered": shared["recovered"],
@@ -311,7 +483,18 @@ def _run_soak(seed: int, n_relays: int, n_visitors: int,
             "session_reconnects": _perf.session_reconnects,
             "replicas_respawned": _perf.replicas_respawned,
             "orphans_reaped": _perf.orphans_reaped,
+            "checkpoints_taken": _perf.checkpoints_taken,
+            "migrations_started": _perf.migrations_started,
+            "migrations_completed": _perf.migrations_completed,
+            "migrations_failed": _perf.migrations_failed,
+            "standby_promotions": _perf.standby_promotions,
         },
+        "recovery": {
+            mode: {"count": len(samples),
+                   "p50_s": _percentile(samples, 0.5),
+                   "p99_s": _percentile(samples, 0.99)}
+            for mode, samples in sorted(recovery_samples.items())},
+        "tenant": tenant_summary,
         "sim_time": round(net.sim.now, 3),
     }
     return result

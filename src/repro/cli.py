@@ -218,8 +218,42 @@ def _scenario_qos_report(seed: int) -> None:
               f"shed={result['qos_shed']}")
 
 
+def _scenario_migrate_report(seed: int) -> None:
+    """Run the chaos soak once per recovery mode and print how the same
+    losses recover: cold respawn vs warm-standby promotion for the
+    LoadBalancer, cold redeploy vs drain-then-migrate for a stateful
+    kvstore tenant.
+
+    The full comparison (with the plane-off bit-identity re-run and the
+    hard acceptance checks) lives in ``benchmarks/bench_migrate.py``;
+    this scenario is the quick look.
+    """
+    from repro.chaos import run_chaos_soak
+
+    print(f"migrate report (seed={seed}): chaos soak per recovery mode")
+    for mode in ("cold", "standby", "migrate", "tenant-cold"):
+        result = run_chaos_soak(seed=seed, recovery_mode=mode)
+        print(f"  {mode}:")
+        for kind, stats in sorted(result["recovery"].items()):
+            print(f"    {kind:14s} n={stats['count']}  "
+                  f"p50 {stats['p50_s']}s  p99 {stats['p99_s']}s")
+        tenant = result["tenant"]
+        if tenant is not None:
+            print(f"    tenant         recovery {tenant['recovery_s']}s, "
+                  f"state {'preserved' if tenant['state_preserved'] else 'LOST'}, "
+                  f"{tenant['redeploys']} redeploys, "
+                  f"{tenant['ops_ok']} ops ok")
+        interesting = {name: value
+                       for name, value in result["counters"].items()
+                       if value and ("migration" in name or "standby" in name
+                                     or "checkpoint" in name)}
+        if interesting:
+            print(f"    counters       {interesting}")
+
+
 SCENARIOS = {
     "quickstart": _scenario_quickstart,
+    "migrate-report": _scenario_migrate_report,
     "scale-report": _scenario_scale_report,
     "qos-report": _scenario_qos_report,
     "fingerprint": _scenario_fingerprint,

@@ -415,6 +415,7 @@ class FunctionApi:
         self._task_peer: dict[SimTask, Any] = {}
         self._inbox: list[tuple[bytes, Any]] = []
         self._recv_waiter: Optional[Future] = None
+        self._undelivered: list[bytes] = []
         self._killed = False
         self._kill_reason = ""
         self.call_log: list[str] = []
@@ -463,6 +464,11 @@ class FunctionApi:
 
     def _push_message(self, payload: bytes, peer) -> None:
         self._inbox.append((payload, peer))
+        if self._instance.draining:
+            # Quiesce: queue the message but leave recv() parked so the
+            # function's state stays frozen for the checkpoint.  Queued
+            # messages ship with (or chase) the checkpoint to the new box.
+            return
         if self._recv_waiter is not None and not self._recv_waiter.done:
             self._recv_waiter.resolve(None)
 
@@ -523,11 +529,29 @@ class FunctionApi:
         if peer is None:
             raise ApiError("no client attached to send to")
         yield from self._charge_network(len(payload))
+        frame = messages.encode_message(
+            messages.OUTPUT, payload=bytes(payload))
         try:
-            peer.send_frame(messages.encode_message(
-                messages.OUTPUT, payload=bytes(payload)))
+            peer.send_frame(frame)
         except Exception:
-            pass  # client went away; outputs are best-effort
+            # Client went away; outputs are best-effort — but keep a
+            # bounded tail so a graceful drain can flush them to the
+            # owner's live connection instead of dropping them.
+            self._undelivered.append(frame)
+            del self._undelivered[:-64]
+
+    def _flush_undelivered(self, peer) -> int:
+        """Replay queued outputs to a (live) peer; returns how many landed."""
+        flushed = 0
+        while self._undelivered:
+            frame = self._undelivered[0]
+            try:
+                peer.send_frame(frame)
+            except Exception:
+                break
+            self._undelivered.pop(0)
+            flushed += 1
+        return flushed
 
     @_api_blocking
     def recv(self, timeout: Optional[float] = None) -> bytes:

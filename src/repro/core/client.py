@@ -15,6 +15,7 @@ from repro.core import messages
 from repro.core.errors import (
     AttestationRejected,
     BentoError,
+    FunctionMoved,
     PuzzleRequired,
     ServerBusy,
 )
@@ -209,6 +210,10 @@ class BentoClient:
                     yield Sleep(delay * (0.5 + self.rng.random()))
                 if session is not None:
                     try:
+                        if isinstance(last, FunctionMoved) and last.box_fp:
+                            # The box told us where the function went:
+                            # chase it instead of hammering the tombstone.
+                            session.retarget(last.box_fp)
                         yield from session.reconnect(thread)
                     except RETRYABLE_ERRORS as exc:
                         last = exc
@@ -301,6 +306,9 @@ class BentoSession:
                 challenge = b""
             return PuzzleRequired(text, challenge=challenge,
                                   difficulty=int(message.get("difficulty", 0)))
+        if reason == "moved":
+            return FunctionMoved(text,
+                                 box_fp=str(message.get("box_fp", "")))
         return BentoError(text)
 
     # Backward-compatible private alias for await_message.
@@ -500,6 +508,86 @@ class BentoSession:
             log.instant("core.session_reconnect", self.client.sim.now,
                         track=self.client.tor.node.name,
                         box=self.box.nickname)
+
+    def retarget(self, box_fp: str) -> None:
+        """Repoint this session at another box (after a migration).
+
+        The next :meth:`reconnect` dials the new box and reattaches with
+        the held invocation token — which the destination adopted during
+        the drain, so the capability keeps working unmodified.
+        """
+        for router in self.client.tor.consensus().routers:
+            if (router.identity_fp == box_fp
+                    and router.bento_port is not None):
+                self.box = router
+                self._pending.clear()
+                log = _obs.log
+                if log is not None:
+                    log.instant("core.session_retarget", self.client.sim.now,
+                                track=self.client.tor.node.name,
+                                box=router.nickname)
+                return
+        raise BentoError(f"moved-to box {box_fp} not in the consensus")
+
+    @blocking
+    def checkpoint_function(self, thread: Actor, seq: int = 0,
+                            timeout: float = 240.0) -> dict:
+        """Snapshot the function's migratable state (owner-only).
+
+        Returns the checkpoint's wire dict.  On an attested session the
+        server seals the reply under the secure channel, so the state
+        never transits (or rests) in host-visible plaintext.
+        """
+        if self.shutdown_token is None:
+            raise BentoError("no shutdown token held to checkpoint with")
+        reply = yield from self._request(thread, messages.encode_message(
+            messages.CHECKPOINT, token=self.shutdown_token, seq=int(seq)),
+            messages.CHECKPOINT_DATA, timeout)
+        if "sealed_checkpoint" in reply:
+            if self.channel is None:
+                raise BentoError("sealed checkpoint on an unattested session")
+            from repro.util.serialization import canonical_decode
+
+            return canonical_decode(self.channel.open(
+                reply["sealed_checkpoint"]))
+        return reply["checkpoint"]
+
+    @blocking
+    def restore_function(self, thread: Actor, checkpoint: Optional[dict],
+                         start: bool = False,
+                         adopt_invocation: Optional[str] = None,
+                         adopt_shutdown: Optional[str] = None,
+                         timeout: float = 240.0) -> dict:
+        """Apply a checkpoint to the function loaded on this session.
+
+        ``checkpoint`` is the wire dict from :meth:`checkpoint_function`
+        (or None to promote previously staged state).  ``start=True``
+        (re)starts the entry with the checkpointed args.  The ``adopt_*``
+        tokens re-key the destination instance under the source's
+        capabilities, so existing holders follow the function across the
+        move; this session's own tokens are updated to match.
+        """
+        if self.invocation_token is None:
+            raise BentoError("load_function must succeed before restore")
+        fields: dict[str, Any] = {"token": self.invocation_token,
+                                  "start": bool(start)}
+        if checkpoint is not None:
+            if self.channel is not None:
+                from repro.util.serialization import canonical_encode
+
+                fields["sealed_checkpoint"] = self.channel.seal(
+                    canonical_encode(checkpoint))
+            else:
+                fields["checkpoint"] = dict(checkpoint)
+        if adopt_invocation:
+            fields["adopt_invocation"] = adopt_invocation
+        if adopt_shutdown:
+            fields["adopt_shutdown"] = adopt_shutdown
+        reply = yield from self._request(thread, messages.encode_message(
+            messages.RESTORE, **fields), messages.RESTORED, timeout)
+        self.invocation_token = reply.get("invocation", self.invocation_token)
+        self.shutdown_token = reply.get("shutdown", self.shutdown_token)
+        return reply
 
     @blocking
     def shutdown(self, thread: Actor, timeout: float = 120.0) -> None:

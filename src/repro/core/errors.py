@@ -41,6 +41,21 @@ class ServerBusy(BentoError):
         super().__init__(detail)
 
 
+class FunctionMoved(BentoError):
+    """The function migrated to another box; reattach there.
+
+    Carried as an ``error`` frame with reason ``moved`` and a structured
+    ``box_fp`` field naming the destination box's identity fingerprint.
+    :meth:`~repro.core.client.BentoClient.retrying` retargets the session
+    at ``box_fp`` before its next reconnect, so callers see a bounded
+    pause rather than a hard failure.
+    """
+
+    def __init__(self, detail: str, box_fp: str = "") -> None:
+        self.box_fp = str(box_fp)
+        super().__init__(detail)
+
+
 class PuzzleRequired(BentoError):
     """Under shed pressure the box demands a client puzzle before admitting.
 

@@ -78,6 +78,10 @@ class FunctionRuntime:
         self.namespace: Optional[dict] = None
         self.entry: Optional[Callable] = None
         self.running = False
+        # The args of the most recent start(); a restored instance re-runs
+        # its entry with these (the migration plane ships them in the
+        # checkpoint).
+        self.last_args: Optional[list] = None
 
     def load(self) -> None:
         """Compile and execute the module body; locate the entry point."""
@@ -95,6 +99,35 @@ class FunctionRuntime:
         self.namespace = namespace
         self.entry = entry
 
+    # -- checkpoint/restore (the migration plane's view of a function) ----
+
+    @property
+    def checkpointable(self) -> bool:
+        """Did the uploaded source define ``checkpoint()``/``restore(state)``?
+
+        The protocol is opt-in at the function level: a function that keeps
+        migratable state exports a plain ``checkpoint()`` callable returning
+        a canonical-encodable value and a ``restore(state)`` callable that
+        reinstates it.  Both run synchronously (no api access needed)."""
+        if self.namespace is None:
+            return False
+        return (callable(self.namespace.get("checkpoint"))
+                and callable(self.namespace.get("restore")))
+
+    def checkpoint_state(self) -> Any:
+        """Snapshot the function's exported state."""
+        if not self.checkpointable:
+            raise LoaderError(
+                f"function {self.manifest.name!r} is not checkpointable")
+        return self.namespace["checkpoint"]()
+
+    def restore_state(self, state: Any) -> None:
+        """Reinstate a snapshot taken by :meth:`checkpoint_state`."""
+        if not self.checkpointable:
+            raise LoaderError(
+                f"function {self.manifest.name!r} is not checkpointable")
+        self.namespace["restore"](state)
+
     def start(self, args: list, peer) -> None:
         """Run one invocation in its own actor.
 
@@ -108,17 +141,25 @@ class FunctionRuntime:
         if self.running:
             raise LoaderError("function already running")
         self.running = True
+        self.last_args = list(args)
         sim = self.instance.server.sim
         api = self.instance.api
 
         if inspect.isgeneratorfunction(self.entry):
             def _run(task):
+                from repro.core.api import FunctionKilled
+
                 api._bind(task, peer)
                 try:
                     try:
                         result = yield from self.entry(*args)
                     except BaseException as exc:  # noqa: BLE001 - to client
                         self.running = False
+                        if (self.instance.draining
+                                and isinstance(exc, FunctionKilled)):
+                            # A deliberate drain kill: the instance moved;
+                            # the client hears "moved", not "crashed".
+                            return
                         self.instance.on_error(
                             FunctionCrashed(f"{type(exc).__name__}: {exc}"),
                             peer)

@@ -7,10 +7,10 @@ the protocol does not care).
 
 Client -> server:
     ``policy_query`` | ``request_image`` | ``load_function`` | ``invoke``
-    | ``msg`` | ``attach`` | ``shutdown``
+    | ``msg`` | ``attach`` | ``shutdown`` | ``checkpoint`` | ``restore``
 Server -> client:
     ``policy`` | ``image_ready`` | ``loaded`` | ``output`` | ``done``
-    | ``shutdown_ok`` | ``error``
+    | ``shutdown_ok`` | ``checkpoint_data`` | ``restored`` | ``error``
 """
 
 from __future__ import annotations
@@ -28,6 +28,8 @@ INVOKE = "invoke"
 MSG = "msg"                 # an in-band message to a running function
 ATTACH = "attach"           # bind this connection to an invocation token
 SHUTDOWN = "shutdown"
+CHECKPOINT = "checkpoint"   # owner-only: snapshot a checkpointable function
+RESTORE = "restore"         # apply a checkpoint to a freshly loaded instance
 
 # Server -> client.
 POLICY = "policy"
@@ -36,12 +38,15 @@ LOADED = "loaded"
 OUTPUT = "output"           # api.send() from the function
 DONE = "done"               # entry function returned
 SHUTDOWN_OK = "shutdown_ok"
+CHECKPOINT_DATA = "checkpoint_data"
+RESTORED = "restored"
 ERROR = "error"
 
 _CLIENT_TYPES = frozenset({POLICY_QUERY, REQUEST_IMAGE, LOAD_FUNCTION,
-                           INVOKE, MSG, ATTACH, SHUTDOWN})
+                           INVOKE, MSG, ATTACH, SHUTDOWN, CHECKPOINT,
+                           RESTORE})
 _SERVER_TYPES = frozenset({POLICY, IMAGE_READY, LOADED, OUTPUT, DONE,
-                           SHUTDOWN_OK, ERROR})
+                           SHUTDOWN_OK, CHECKPOINT_DATA, RESTORED, ERROR})
 
 
 def encode_message(msg_type: str, **fields: Any) -> bytes:

@@ -22,6 +22,7 @@ from repro.core.api import FunctionApi
 from repro.core.errors import (
     BentoError,
     FunctionCrashed,
+    FunctionMoved,
     ImageUnavailable,
     ManifestRejected,
     PuzzleRequired,
@@ -89,13 +90,22 @@ class FunctionInstance:
         self.logs: list[str] = []
         self.terminated = False
         self.qos_key = None     # admission slot, set by the serving plane
+        # Set by the migration plane while this instance quiesces: recv()
+        # stays parked and the inbox accumulates until the drain resolves.
+        self.draining = False
         # Client transports that have referenced this instance, and the
-        # last time one did — the inputs to orphan reaping.
+        # last time one did — the inputs to orphan reaping.  ``peers`` is
+        # a set (membership checks); ``_peer_order`` remembers arrival
+        # order so a drain flush can pick the newest live transport
+        # deterministically.
         self.peers: set[FramedStream] = set()
+        self._peer_order: list[FramedStream] = []
         self.last_activity: float = server.sim.now
 
     def note_peer(self, peer: FramedStream) -> None:
         """Record a client transport touching this instance."""
+        if peer not in self.peers:
+            self._peer_order.append(peer)
         self.peers.add(peer)
         self.last_activity = self.server.sim.now
 
@@ -108,6 +118,11 @@ class FunctionInstance:
         if any(not peer.closed for peer in self.peers):
             return False
         return self.runtime is None or not self.runtime.running
+
+    @property
+    def checkpointable(self) -> bool:
+        """Does the loaded function implement the checkpoint protocol?"""
+        return self.runtime is not None and self.runtime.checkpointable
 
     # -- lifecycle -------------------------------------------------------
 
@@ -176,6 +191,14 @@ class FunctionInstance:
         if self.terminated:
             return
         self.terminated = True
+        if graceful and self.api._undelivered:
+            # Drain flush: outputs that missed a dead transport get one
+            # last chance on the newest live client connection before the
+            # function is torn down.
+            peer = next((p for p in reversed(self._peer_order)
+                         if not p.closed), None)
+            if peer is not None:
+                self.api._flush_undelivered(peer)
         log = _obs.log
         if log is not None:
             log.instant("core.instance_kill", self.server.sim.now,
@@ -205,7 +228,7 @@ class BentoServer:
                  enclave_host: Optional[EnclaveHost] = None,
                  port: int = BENTO_PORT,
                  orphan_grace_s: Optional[float] = None,
-                 qos=None) -> None:
+                 qos=None, migrate=None) -> None:
         self.relay = relay
         self.node = relay.node
         self.sim = relay.sim
@@ -256,6 +279,22 @@ class BentoServer:
                 config = qos if isinstance(qos, QosConfig) else QosConfig()
                 qos = ServingPlane(self, config)
         self.qos = qos
+        # The migration plane is equally opt-in (and equally lazily
+        # imported): pass a MigrationConfig (or a ready plane) to enable
+        # drain-then-migrate and sealed checkpoint/restore.  migrate=None
+        # keeps fixed-seed default runs bit-identical.
+        if migrate is not None:
+            from repro.migrate import MigrationConfig, MigrationPlane
+            if not isinstance(migrate, MigrationPlane):
+                config = (migrate if isinstance(migrate, MigrationConfig)
+                          else MigrationConfig())
+                migrate = MigrationPlane(self, config)
+        self.migrate = migrate
+        # Tokens of instances that drained away, mapped to the destination
+        # box fingerprint — requests against them get a structured "moved"
+        # answer instead of "unknown token".
+        self._moved: dict[str, str] = {}
+        self._reaper_armed = False
         # Host death kills every hosted function with it (fate-sharing
         # with the box); a restart comes back empty.
         self.node.add_crash_listener(self._on_node_crash)
@@ -327,14 +366,33 @@ class BentoServer:
                     "puzzle-required", detail=str(exc),
                     challenge=exc.challenge.hex(),
                     difficulty=exc.difficulty))
+            except FunctionMoved as exc:
+                framed.send_frame(messages.error_message(
+                    "moved", detail=str(exc), box_fp=exc.box_fp))
             except (BentoError, ResourceExceeded, LoaderError) as exc:
                 framed.send_frame(messages.error_message("request-failed",
                                                          detail=str(exc)))
         if span is not None:
             span.end(self.sim.now, frames=frames_served)
-        if self.orphan_grace_s is not None:
-            # This client is gone; sweep for orphans once the grace expires.
-            self.sim.schedule(self.orphan_grace_s, self.reap_orphans)
+        # This client is gone; sweep for orphans once the grace expires.
+        self._arm_reaper()
+
+    def _arm_reaper(self) -> None:
+        """Schedule one orphan sweep ``orphan_grace_s`` from now.
+
+        Deduplicated: only one sweep is ever pending, and each sweep
+        re-arms itself while instances remain — a long-running server
+        keeps reaping instead of sweeping exactly once per dead client."""
+        if self.orphan_grace_s is None or self._reaper_armed:
+            return
+        self._reaper_armed = True
+        self.sim.schedule(self.orphan_grace_s, self._reaper_sweep)
+
+    def _reaper_sweep(self) -> None:
+        self._reaper_armed = False
+        self.reap_orphans()
+        if self._by_invocation and self.node.alive:
+            self._arm_reaper()
 
     def _dispatch(self, thread: Actor, framed: FramedStream,
                   message: dict):
@@ -376,6 +434,10 @@ class BentoServer:
             framed.send_frame(messages.encode_message(messages.LOADED, ok=True))
         elif msg_type == messages.SHUTDOWN:
             self._handle_shutdown(framed, message)
+        elif msg_type == messages.CHECKPOINT:
+            self._handle_checkpoint(framed, message)
+        elif msg_type == messages.RESTORE:
+            self._handle_restore(framed, message)
         else:
             framed.send_frame(messages.error_message(
                 "unexpected-type", detail=msg_type))
@@ -560,15 +622,110 @@ class BentoServer:
         token = message.get("token", "")
         instance = self._by_shutdown.get(token)
         if instance is None:
+            moved_to = self._moved.get(token)
+            if moved_to is not None:
+                raise FunctionMoved("function migrated to another box",
+                                    box_fp=moved_to)
             raise TokenInvalid("unknown shutdown token")
+        instance.note_peer(framed)
         instance.kill("shutdown by owner")
         framed.send_frame(messages.encode_message(messages.SHUTDOWN_OK))
+
+    def _handle_checkpoint(self, framed: FramedStream, message: dict) -> None:
+        """Snapshot a checkpointable function for its owner.
+
+        Gated on the *shutdown* token: the checkpoint carries the
+        function's full state, so only the owner capability (not the
+        shareable invocation token) may take one.  Inside a conclave the
+        reply travels sealed under the attested channel — the host never
+        sees plaintext state (§5.4)."""
+        from repro.migrate import checkpoint_instance, store_local_checkpoint
+
+        token = message.get("token", "")
+        instance = self._by_shutdown.get(token)
+        if instance is None:
+            moved_to = self._moved.get(token)
+            if moved_to is not None:
+                raise FunctionMoved("function migrated to another box",
+                                    box_fp=moved_to)
+            raise TokenInvalid("unknown shutdown token")
+        instance.note_peer(framed)
+        cp = checkpoint_instance(instance, seq=int(message.get("seq", 0)))
+        reply: dict = {"ok": True, "seq": cp.seq}
+        if instance.conclave is not None:
+            store_local_checkpoint(instance, cp)
+            channel = instance.conclave.channel
+            if channel is None:
+                raise BentoError("no attested channel to seal checkpoint for")
+            reply["sealed_checkpoint"] = channel.seal(
+                canonical_encode(cp.to_wire()))
+        else:
+            reply["checkpoint"] = cp.to_wire()
+        framed.send_frame(messages.encode_message(
+            messages.CHECKPOINT_DATA, **reply))
+
+    def _handle_restore(self, framed: FramedStream, message: dict) -> None:
+        """Apply a checkpoint to a freshly loaded instance.
+
+        Sent by the migration plane (or a standby's owner) right after
+        ``load_function`` on the destination box.  May also adopt the
+        source instance's token pair so existing capability holders keep
+        working after the move."""
+        from repro.migrate import Checkpoint, restore_instance
+        from repro.util.serialization import canonical_decode
+
+        instance = self._instance_for_invocation(message.get("token", ""))
+        instance.note_peer(framed)
+        if "sealed_checkpoint" in message:
+            if instance.conclave is None or instance.conclave.channel is None:
+                raise BentoError(
+                    "sealed restore requires an attested enclave channel")
+            wire = canonical_decode(
+                instance.conclave.channel.open(message["sealed_checkpoint"]))
+            cp = Checkpoint.from_wire(wire)
+        elif "checkpoint" in message:
+            cp = Checkpoint.from_wire(message["checkpoint"])
+        else:
+            cp = None
+        restore_instance(instance, cp, framed,
+                         start=bool(message.get("start", False)))
+        adopt_inv = message.get("adopt_invocation", "")
+        adopt_sd = message.get("adopt_shutdown", "")
+        if adopt_inv or adopt_sd:
+            self._adopt_tokens(instance, adopt_inv, adopt_sd)
+        framed.send_frame(messages.encode_message(
+            messages.RESTORED, ok=True,
+            invocation=instance.tokens.invocation,
+            shutdown=instance.tokens.shutdown))
+
+    def _adopt_tokens(self, instance: FunctionInstance, invocation: str,
+                      shutdown: str) -> None:
+        """Re-key an instance under tokens minted by another box.
+
+        Existing holders of the source instance's capabilities (sessions,
+        shared invocation tokens) keep working against the destination
+        without redistribution.  Refuses tokens already registered here —
+        adoption must never hijack a live instance."""
+        for token in (invocation, shutdown):
+            if token in self._by_invocation or token in self._by_shutdown:
+                raise TokenInvalid("adopted token collides with a live one")
+        self._by_invocation.pop(instance.tokens.invocation, None)
+        self._by_shutdown.pop(instance.tokens.shutdown, None)
+        instance.tokens = TokenPair(
+            invocation=invocation or instance.tokens.invocation,
+            shutdown=shutdown or instance.tokens.shutdown)
+        self._by_invocation[instance.tokens.invocation] = instance
+        self._by_shutdown[instance.tokens.shutdown] = instance
 
     # -- registry -----------------------------------------------------------------
 
     def _instance_for_invocation(self, token: str) -> FunctionInstance:
         instance = self._by_invocation.get(token)
         if instance is None:
+            moved_to = self._moved.get(token)
+            if moved_to is not None:
+                raise FunctionMoved("function migrated to another box",
+                                    box_fp=moved_to)
             raise TokenInvalid("unknown invocation token")
         return instance
 
@@ -611,6 +768,7 @@ class BentoServer:
         # into its next life.
         self._image_cache.clear()
         self._manifest_cache.clear()
+        self._moved.clear()
         if self.qos is not None:
             # A dead box cannot serve; stop advertising room it no longer
             # has (a stale report would just make it look busy anyway).

@@ -95,7 +95,8 @@ import json
 ''' + _SERVE_SNIPPET + r'''
 
 def loadbalancer(replica_source, replica_manifest, high_water, low_water,
-                 max_replicas, duration_s, poll_interval, announce=False):
+                 max_replicas, duration_s, poll_interval, announce=False,
+                 standbys=0):
     content = yield from api.recv(timeout=300.0)
     state = {"active": 0, "served": 0}
     service = yield from api.stem.create_hidden_service(
@@ -111,6 +112,7 @@ def loadbalancer(replica_source, replica_manifest, high_water, low_water,
     # ticks) — so dispatch never blocks on a poll round.
     local = {"assigned": 0}
     replicas = []
+    standby_pool = []
     dead_boxes = []
     lost = {"count": 0}
     events = [[(yield from api.time()), "start", 1]]
@@ -176,10 +178,38 @@ def loadbalancer(replica_source, replica_manifest, high_water, low_water,
                        1 + len(replicas)])
         return False
 
+    def spawn_standby():
+        # A warm standby: fully provisioned (code, key material, and
+        # content already pushed) but never dispatched to.  Promoting it
+        # after a replica loss is instant — no copy, no provisioning —
+        # which is the whole point of paying for it up front.
+        for _attempt in range(4):
+            try:
+                handle = yield from api.deploy(replica_source, replica_manifest,
+                                               direct=True,
+                                               exclude_fingerprints=dead_boxes,
+                                               prefer_slack=True)
+                info = yield from api.remote_info(handle)
+                yield from api.remote_invoke_nowait(
+                    handle, [key_material, len(content)])
+                yield from api.remote_send(handle, content)
+            except Exception:
+                continue
+            standby_pool.append({"handle": handle, "active": 0, "served": 0,
+                                 "assigned": 0, "ready": False,
+                                 "box_fp": info["box_fp"]})
+            events.append([(yield from api.time()), "standby-up",
+                           len(standby_pool)])
+            yield from tell({"standby_box": info["box_fp"],
+                             "event": "standby-up"})
+            return True
+        return False
+
     def lose_replica(rep):
         # A replica stopped answering: its box died (or the path to it).
         # Remember the box so redeployment avoids it, then re-replicate —
-        # the paper's LB respawns on death, not just on load.
+        # promote a warm standby when one is up (instant), else respawn
+        # cold, the paper's LB behavior.
         if rep not in replicas:
             return
         replicas.remove(rep)
@@ -190,7 +220,21 @@ def loadbalancer(replica_source, replica_manifest, high_water, low_water,
                        1 + len(replicas)])
         yield from tell({"replica_lost": rep.get("box_fp", "")})
         if len(replicas) < max_replicas:
-            yield from spawn_replica(kind="respawn")
+            promoted = None
+            while standby_pool and promoted is None:
+                candidate = standby_pool.pop(0)
+                if candidate.get("box_fp") in dead_boxes:
+                    continue    # the standby died with the same box
+                promoted = candidate
+            if promoted is not None:
+                replicas.append(promoted)
+                events.append([(yield from api.time()), "standby-promoted",
+                               1 + len(replicas)])
+                yield from tell({"standby_promoted":
+                                 promoted.get("box_fp", "")})
+                yield from spawn_standby()   # replenish the pool
+            else:
+                yield from spawn_replica(kind="respawn")
 
     def ensure_ready(rep, timeout=300.0):
         """Wait for a replica's {"ready": true}; with a tiny timeout this
@@ -249,6 +293,9 @@ def loadbalancer(replica_source, replica_manifest, high_water, low_water,
                 return
         events.append([(yield from api.time()), "dispatch", least["kind"]])
 
+    for _n in range(standbys):
+        yield from spawn_standby()
+
     end = (yield from api.time()) + duration_s
     while (yield from api.time()) < end:
         remaining = end - (yield from api.time())
@@ -293,7 +340,7 @@ def loadbalancer(replica_source, replica_manifest, high_water, low_water,
             break
         yield from api.sleep(poll_interval)
 
-    for rep in replicas:
+    for rep in replicas + standby_pool:
         try:
             yield from api.remote_send(rep["handle"], b'{"op": "stop"}')
             yield from api.remote_shutdown(rep["handle"])
@@ -347,24 +394,29 @@ class LoadBalancerFunction:
               high_water: int = 2, low_water: int = 1, max_replicas: int = 3,
               duration_s: float = 120.0, poll_interval: float = 2.0,
               replica_image: str = "python-op-sgx",
-              timeout: float = 600.0, announce: bool = False) -> str:
+              timeout: float = 600.0, announce: bool = False,
+              standbys: int = 0) -> str:
         """Launch the balancer on a loaded session; returns the onion
         address it is serving.
 
         With ``announce=True`` the balancer reports replica placements and
         losses as extra OUTPUT frames (JSON with ``replica_box`` /
         ``replica_lost`` keys) so an operator can watch re-replication.
+
+        ``standbys`` pre-provisions that many warm replicas (content and
+        key material already pushed, never dispatched to); a lost replica
+        promotes one instantly instead of respawning cold.
         """
         return cls._start(thread, session, content, high_water, low_water,
                           max_replicas, duration_s, poll_interval,
-                          replica_image, timeout, announce)
+                          replica_image, timeout, announce, standbys)
 
     @staticmethod
     @blocking
     def _start(thread: Actor, session, content: bytes, high_water: int,
                low_water: int, max_replicas: int, duration_s: float,
                poll_interval: float, replica_image: str, timeout: float,
-               announce: bool) -> str:
+               announce: bool, standbys: int = 0) -> str:
         from repro.core import messages
 
         cls = LoadBalancerFunction
@@ -374,12 +426,16 @@ class LoadBalancerFunction:
             "functions.lb_start", sim.now, track=session.box.nickname,
             box=session.box.nickname,
             content_bytes=len(content)) if log is not None else None
+        args = [cls.REPLICA_SOURCE,
+                cls.replica_manifest(image=replica_image).to_wire(),
+                high_water, low_water, max_replicas, duration_s,
+                poll_interval, announce]
+        if standbys:
+            # Appended only when used: the default invoke frame keeps its
+            # pre-standby wire bytes, so fixed-seed replays stay identical.
+            args.append(int(standbys))
         session.framed.send_frame(messages.encode_message(
-            messages.INVOKE, token=session.invocation_token,
-            args=[cls.REPLICA_SOURCE,
-                  cls.replica_manifest(image=replica_image).to_wire(),
-                  high_water, low_water, max_replicas, duration_s,
-                  poll_interval, announce]))
+            messages.INVOKE, token=session.invocation_token, args=args))
         session.send_message(content)
         ready = yield from session.next_output(thread, timeout=timeout)
         onion = json.loads(ready.decode("utf-8"))["onion"]

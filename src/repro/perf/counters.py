@@ -44,6 +44,14 @@ _FIELDS = (
     "qos_rejected",        # admissions refused with a RETRY_AFTER
     "qos_shed",            # work dropped by the load shedder
     "qos_throttles",       # fair-scheduler pacing sleeps inserted
+    # -- migration plane ---------------------------------------------------
+    # All five stay 0 with the plane disabled; the hot-path regression
+    # guard pins that, so migration can never touch the per-byte path.
+    "checkpoints_taken",   # function state snapshots serialized
+    "migrations_started",  # drain-then-migrate attempts begun
+    "migrations_completed",  # drains that restored on the destination box
+    "migrations_failed",   # drains aborted (no destination, quiesce timeout)
+    "standby_promotions",  # warm standbys promoted instead of cold respawn
 )
 
 

@@ -240,8 +240,15 @@ class ServingPlane:
 
     def _after_queue_change(self) -> None:
         """Re-evaluate shed state and re-advertise after any transition."""
+        was_shedding = self.shedder.shedding
         self.shedder.update(self.admission.queue_len,
                             self.admission.queue_depth)
+        if (self.shedder.shedding and not was_shedding
+                and getattr(self.server, "migrate", None) is not None):
+            # Shedding just engaged: with the migration plane on, try to
+            # *move* a bulk tenant to a slack-rich box instead of only
+            # refusing new work here.
+            self.server.migrate.maybe_shed()
         self._m_queue_depth.set(self.admission.queue_len)
         self._m_slots_free.set(self.admission.slots_free)
         self._advertise()
