@@ -12,8 +12,14 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import sys
 
 import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "src"))
+
+from repro.obs.testing import fresh_observability  # noqa: E402
 
 RESULTS_PATH = pathlib.Path(__file__).parent / "results.json"
 
@@ -30,6 +36,18 @@ def record_result(experiment: str, payload: dict) -> None:
             existing = {}
     existing[experiment] = payload
     RESULTS_PATH.write_text(json.dumps(existing, indent=2, sort_keys=True))
+
+
+@pytest.fixture(autouse=True)
+def _fresh_observability():
+    """The same per-case instrumentation reset the test suite uses.
+
+    Shared via :mod:`repro.obs.testing` — benchmark-driven tests must
+    not leak tracer sinks or metric values between cases any more than
+    unit tests may.
+    """
+    with fresh_observability():
+        yield
 
 
 @pytest.fixture()

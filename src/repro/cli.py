@@ -251,8 +251,66 @@ def _scenario_migrate_report(seed: int) -> None:
             print(f"    counters       {interesting}")
 
 
+def _scenario_workload_report(seed: int, spec_path: str | None = None,
+                              preset_name: str | None = None,
+                              out: str | None = None) -> None:
+    """Run one declarative workload scenario and print its SLO report.
+
+    The scenario comes from ``--spec FILE`` (a WorkloadSpec JSON file) or
+    ``--preset NAME`` (a stock scenario; default ``qos-flash``).  A spec
+    is self-contained — it carries its own seed, tenants, planes, and SLO
+    assertions — so ``--seed`` is ignored here; edit the spec to change
+    it.  With ``--out DIR`` the run also writes ``spec.json``,
+    ``report.json``, and the replay-identity ``events.jsonl``.
+
+    Exits nonzero when any declared SLO fails.
+    """
+    import hashlib
+    import json
+    import os
+
+    from repro.obs.export import events_to_jsonl
+    from repro.obs.span import EventLog
+    from repro.workload import (WorkloadSpec, build_report, render_report,
+                                run_workload)
+    from repro.workload.presets import PRESETS, preset
+
+    if spec_path is not None:
+        spec = WorkloadSpec.from_file(spec_path)
+    else:
+        name = preset_name or "qos-flash"
+        if name not in PRESETS:
+            print(f"unknown preset {name!r}; available: "
+                  + ", ".join(sorted(PRESETS)))
+            raise SystemExit(2)
+        spec = preset(name)
+    log = EventLog()
+    result = run_workload(spec, trace_log=log)
+    report = build_report(spec, result)
+    print(render_report(report))
+    if out is not None:
+        os.makedirs(out, exist_ok=True)
+        jsonl = events_to_jsonl(log)
+        digest = hashlib.sha256(jsonl.encode("utf-8")).hexdigest()
+        with open(os.path.join(out, "spec.json"), "w",
+                  encoding="utf-8") as fh:
+            fh.write(spec.to_json())
+        with open(os.path.join(out, "events.jsonl"), "w",
+                  encoding="utf-8") as fh:
+            fh.write(jsonl)
+        with open(os.path.join(out, "report.json"), "w",
+                  encoding="utf-8") as fh:
+            json.dump({"report": report, "events_jsonl_sha256": digest},
+                      fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"artifacts in {out}/ (events.jsonl sha256 {digest[:16]}…)")
+    if not report["passed"]:
+        raise SystemExit(1)
+
+
 SCENARIOS = {
     "quickstart": _scenario_quickstart,
+    "workload-report": _scenario_workload_report,
     "migrate-report": _scenario_migrate_report,
     "scale-report": _scenario_scale_report,
     "qos-report": _scenario_qos_report,
@@ -278,6 +336,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", default="trace-report",
                         help="output directory for trace-report artifacts "
                              "(default: trace-report)")
+    parser.add_argument("--spec", default=None, metavar="FILE",
+                        help="workload-report: run this WorkloadSpec JSON "
+                             "file instead of a preset")
+    parser.add_argument("--preset", default=None, metavar="NAME",
+                        help="workload-report: stock scenario to run "
+                             "(default: qos-flash)")
+    parser.add_argument("--workload-out", default=None, metavar="DIR",
+                        help="workload-report: also write spec.json, "
+                             "report.json, and events.jsonl here")
     args = parser.parse_args(argv)
     if args.scenario == "list":
         for name in sorted(SCENARIOS):
@@ -285,6 +352,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.scenario == "trace-report":
         SCENARIOS[args.scenario](args.seed, out=args.out)
+    elif args.scenario == "workload-report":
+        SCENARIOS[args.scenario](args.seed, spec_path=args.spec,
+                                 preset_name=args.preset,
+                                 out=args.workload_out)
     else:
         SCENARIOS[args.scenario](args.seed)
     return 0

@@ -1,0 +1,142 @@
+"""Seeded arrival processes: when each tenant's clients show up.
+
+Every generator takes the tenant's forked
+:class:`~repro.util.rng.DeterministicRandom` and returns a sorted list of
+arrival records — ``{"t": float, ...}`` — drawn entirely from that RNG,
+so the same spec and seed produce byte-identical schedules.  Records
+carry per-arrival attributes where the process implies them (a churn
+session's lifetime, its generation in the rejoin chain).
+
+The diurnal process uses Lewis-Shedler thinning against the peak rate:
+candidates are drawn from a homogeneous Poisson at ``rate * peak_ratio``
+and accepted with probability ``rate(t) / peak``.  One RNG draw per
+candidate plus one per acceptance test keeps the stream deterministic
+regardless of how many candidates are rejected.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.rng import DeterministicRandom
+from repro.workload.spec import ArrivalSpec, WorkloadSpecError
+
+__all__ = ["generate_arrivals"]
+
+#: Hard cap on arrivals from one tenant: a spec asking for more is a
+#: configuration error, not a workload (the generator raises rather than
+#: silently truncating).
+MAX_ARRIVALS = 100_000
+
+
+def generate_arrivals(arrival: ArrivalSpec, rng: DeterministicRandom,
+                      duration_s: float) -> list[dict]:
+    """All arrival records for one tenant over ``[0, duration_s)``."""
+    maker = _KINDS[arrival.kind]
+    records = maker(arrival, rng, duration_s)
+    if len(records) > MAX_ARRIVALS:
+        raise WorkloadSpecError(
+            f"{arrival.kind} arrivals produced {len(records)} records "
+            f"(> {MAX_ARRIVALS}); lower the rate or duration")
+    records.sort(key=lambda r: r["t"])
+    return records
+
+
+def _poisson_times(rng: DeterministicRandom, rate: float, start: float,
+                   end: float) -> list[float]:
+    times: list[float] = []
+    t = start
+    while True:
+        t += rng.expovariate(rate)
+        if t >= end or len(times) >= MAX_ARRIVALS:
+            break
+        times.append(t)
+    return times
+
+
+def _poisson(arrival: ArrivalSpec, rng: DeterministicRandom,
+             duration_s: float) -> list[dict]:
+    return [{"t": t}
+            for t in _poisson_times(rng, arrival.rate_per_s, 0.0, duration_s)]
+
+
+def _diurnal(arrival: ArrivalSpec, rng: DeterministicRandom,
+             duration_s: float) -> list[dict]:
+    base = arrival.rate_per_s
+    peak = base * arrival.peak_ratio
+    two_pi_over_period = 2.0 * math.pi / arrival.period_s
+
+    def rate_at(t: float) -> float:
+        # Sinusoid between base (trough) and base * peak_ratio (crest),
+        # starting at the midpoint and rising: a compressed day.
+        mid = (base + peak) / 2.0
+        amp = (peak - base) / 2.0
+        return mid + amp * math.sin(two_pi_over_period * t)
+
+    records: list[dict] = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(peak)
+        if t >= duration_s or len(records) >= MAX_ARRIVALS:
+            break
+        if rng.random() < rate_at(t) / peak:
+            records.append({"t": t})
+    return records
+
+
+def _flash(arrival: ArrivalSpec, rng: DeterministicRandom,
+           duration_s: float) -> list[dict]:
+    records = [{"t": t}
+               for t in _poisson_times(rng, arrival.rate_per_s, 0.0,
+                                       duration_s)]
+    burst_end = min(arrival.burst_at_s + arrival.burst_duration_s, duration_s)
+    records += [{"t": t, "flash": True}
+                for t in _poisson_times(rng, arrival.burst_rate_per_s,
+                                        arrival.burst_at_s, burst_end)]
+    return records
+
+
+def _burst(arrival: ArrivalSpec, rng: DeterministicRandom,
+           duration_s: float) -> list[dict]:
+    # The window is clamped to the run: a window that starts at or after
+    # duration_s yields nothing, and the slice past duration_s is cut off
+    # (so the burst lands exactly burst_arrivals only when its window
+    # fits inside the run).  Draw count stays fixed either way, keeping
+    # the RNG stream independent of the clamp.
+    burst_end = min(arrival.burst_at_s + arrival.burst_duration_s, duration_s)
+    if burst_end <= arrival.burst_at_s:
+        return []
+    records = []
+    for _ in range(arrival.burst_arrivals):
+        t = rng.uniform(arrival.burst_at_s, burst_end)
+        if t < duration_s:
+            records.append({"t": t})
+    return records
+
+
+def _churn(arrival: ArrivalSpec, rng: DeterministicRandom,
+           duration_s: float) -> list[dict]:
+    records: list[dict] = []
+    for t0 in _poisson_times(rng, arrival.rate_per_s, 0.0, duration_s):
+        t = t0
+        generation = 0
+        while t < duration_s and len(records) < MAX_ARRIVALS:
+            lifetime = rng.expovariate(1.0 / arrival.churn_lifetime_s)
+            records.append({"t": t, "lifetime_s": lifetime,
+                            "generation": generation})
+            # Rejoin: the same logical user comes back after a think-time
+            # gap, as a new session (new circuits, new admission).
+            if rng.random() >= arrival.churn_rejoin_prob:
+                break
+            t = t + lifetime + rng.expovariate(1.0 / arrival.churn_lifetime_s)
+            generation += 1
+    return records
+
+
+_KINDS = {
+    "poisson": _poisson,
+    "diurnal": _diurnal,
+    "flash": _flash,
+    "burst": _burst,
+    "churn": _churn,
+}

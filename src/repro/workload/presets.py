@@ -1,0 +1,306 @@
+"""The stock scenario matrix: one preset per plane story, plus the sweep.
+
+Each preset is a factory returning a fully-validated
+:class:`~repro.workload.spec.WorkloadSpec` with its SLOs declared inline,
+so ``bench_workload.py`` and the CI smoke step share one source of truth.
+``full=True`` scales duration and arrival rates up for the nightly sweep;
+the default smoke shape keeps every scenario CI-sized.
+
+The thresholds are enforced, not decorative: the whole pipeline is
+deterministic for a fixed seed, so a threshold that passes once passes
+every run — the margin built into each one is headroom for future code
+changes (a scheduler tweak shifting latencies), not for noise.
+"""
+
+from __future__ import annotations
+
+from repro.workload.spec import (ArrivalSpec, PlanesSpec, SloSpec,
+                                 TenantSpec, WorkloadSpec)
+
+__all__ = ["PRESETS", "preset", "smoke_names", "sweep_names"]
+
+
+def _scaled(full: bool, smoke_value: float, full_value: float) -> float:
+    return full_value if full else smoke_value
+
+
+def qos_flash(full: bool = False) -> WorkloadSpec:
+    """Flash crowd of interactive sessions against a bulk base load.
+
+    The admission plane's story: slots fill during the flash window,
+    interactive arrivals ride the priority queue, the bulk tenant absorbs
+    the refusals.  The goodput SLO is the tentpole's per-plane qos
+    assertion.
+    """
+    duration = _scaled(full, 240.0, 900.0)
+    return WorkloadSpec(
+        name="qos-flash",
+        seed=80801,
+        duration_s=duration,
+        n_relays=10,
+        bento_fraction=0.5,
+        tenants=(
+            TenantSpec(name="api", function="kvstore",
+                       priority="interactive", ops_per_session=2,
+                       deadline_s=60.0, hold_s=12.0,
+                       arrivals=ArrivalSpec(
+                           kind="flash",
+                           rate_per_s=_scaled(full, 0.05, 0.1),
+                           burst_at_s=duration * 0.3,
+                           burst_duration_s=duration * 0.2,
+                           burst_rate_per_s=_scaled(full, 0.5, 1.0))),
+            TenantSpec(name="batch", function="kvstore", priority="bulk",
+                       ops_per_session=3, deadline_s=90.0, hold_s=20.0,
+                       arrivals=ArrivalSpec(
+                           kind="poisson",
+                           rate_per_s=_scaled(full, 0.05, 0.1))),
+        ),
+        planes=PlanesSpec(qos=True, qos_slots=2, qos_queue_depth=2,
+                          qos_queue_timeout_s=8.0),
+        slos=(
+            SloSpec(name="qos-goodput", metric="sessions.goodput",
+                    op=">=", threshold=0.75),
+            SloSpec(name="qos-engaged", metric="qos.rejected",
+                    op=">=", threshold=1.0),
+            # Completion latency bounds at admission deadline (60s) plus
+            # the session's own work and 12s slot hold, with margin.
+            SloSpec(name="interactive-p99",
+                    metric="latency.interactive.p99", op="<=",
+                    threshold=90.0),
+            SloSpec(name="no-deadlock", metric="sim.all_finished",
+                    op="==", threshold=1.0),
+        ),
+    )
+
+
+def chaos_recovery(full: bool = False) -> WorkloadSpec:
+    """A stateful probe and a diurnal session load under injected faults.
+
+    Link cuts and latency spikes land mid-run, then the probe's home box
+    crashes for good — the owner must redeploy and keep serving.  The
+    recovery-p99 SLO is the tentpole's per-plane chaos assertion.
+    """
+    duration = _scaled(full, 300.0, 1200.0)
+    return WorkloadSpec(
+        name="chaos-recovery",
+        seed=80802,
+        duration_s=duration,
+        n_relays=12,
+        bento_fraction=0.5,
+        tenants=(
+            TenantSpec(name="probe", function="kvstore", shared=True,
+                       priority="interactive", ops_per_session=1,
+                       arrivals=ArrivalSpec(
+                           kind="poisson",
+                           rate_per_s=_scaled(full, 0.06, 0.12))),
+            TenantSpec(name="web", function="kvstore", priority="bulk",
+                       ops_per_session=2, deadline_s=120.0,
+                       arrivals=ArrivalSpec(
+                           kind="diurnal",
+                           rate_per_s=_scaled(full, 0.03, 0.06),
+                           peak_ratio=3.0, period_s=duration / 2.0)),
+        ),
+        planes=PlanesSpec(chaos=True, chaos_link_cuts=2,
+                          chaos_latency_spikes=2,
+                          chaos_mean_downtime_s=12.0,
+                          chaos_crash_at_s=duration * 0.55),
+        slos=(
+            SloSpec(name="recovery-p99", metric="chaos.recovery_p99",
+                    op="<=", threshold=120.0),
+            SloSpec(name="probe-serves-on",
+                    metric="probe.ops_ok", op=">=",
+                    threshold=_scaled(full, 8.0, 60.0)),
+            SloSpec(name="no-deadlock", metric="sim.all_finished",
+                    op="==", threshold=1.0),
+        ),
+    )
+
+
+def migrate_handoff(full: bool = False) -> WorkloadSpec:
+    """Drain the probe off its home box *before* chaos crashes it.
+
+    The cross-plane story from the spec docs: the migration plane moves
+    the probe's state out of the blast radius, so the permanent crash of
+    its home box costs nothing.  ``state_preserved == 1`` is the
+    tentpole's per-plane migrate assertion — with migration off this
+    same scenario loses the counter state (the bench's ablation checks
+    exactly that contrast).
+    """
+    duration = _scaled(full, 300.0, 1200.0)
+    return WorkloadSpec(
+        name="migrate-handoff",
+        seed=80803,
+        duration_s=duration,
+        n_relays=12,
+        bento_fraction=0.5,
+        tenants=(
+            TenantSpec(name="probe", function="kvstore", shared=True,
+                       priority="interactive", ops_per_session=1,
+                       arrivals=ArrivalSpec(
+                           kind="poisson",
+                           rate_per_s=_scaled(full, 0.08, 0.15))),
+        ),
+        planes=PlanesSpec(chaos=True, migrate=True,
+                          chaos_link_cuts=0, chaos_latency_spikes=1,
+                          chaos_mean_downtime_s=10.0,
+                          migrate_drain_at_s=duration * 0.35,
+                          chaos_crash_at_s=duration * 0.6),
+        slos=(
+            SloSpec(name="state-preserved",
+                    metric="probe.state_preserved", op="==",
+                    threshold=1.0),
+            SloSpec(name="migration-completed",
+                    metric="migrate.completed", op=">=", threshold=1.0),
+            SloSpec(name="no-failed-migrations",
+                    metric="migrate.failed", op="==", threshold=0.0),
+            SloSpec(name="no-deadlock", metric="sim.all_finished",
+                    op="==", threshold=1.0),
+        ),
+    )
+
+
+def ddos_burst(full: bool = False) -> WorkloadSpec:
+    """The §9.4 defense under a generated burst, half without proof of work.
+
+    A burst process slams the guarded hidden service with a mixed crowd;
+    the attack fraction carries no PoW and must be turned away at the
+    introduction point while honest clients still get the content.
+    """
+    duration = _scaled(full, 240.0, 600.0)
+    return WorkloadSpec(
+        name="ddos-burst",
+        seed=80804,
+        duration_s=duration,
+        n_relays=10,
+        bento_fraction=0.5,
+        tenants=(
+            TenantSpec(name="guard", function="ddos_defense",
+                       priority="bulk", payload_bytes=20_000,
+                       attack_fraction=0.5, pow_difficulty=6,
+                       deadline_s=120.0,
+                       arrivals=ArrivalSpec(
+                           kind="burst",
+                           burst_at_s=duration * 0.25,
+                           burst_duration_s=duration * 0.4,
+                           burst_arrivals=int(_scaled(full, 12, 40)))),
+        ),
+        planes=PlanesSpec(),
+        slos=(
+            SloSpec(name="attacks-rejected",
+                    metric="ddos.guard.rejection_rate", op=">=",
+                    threshold=1.0),
+            SloSpec(name="honest-served",
+                    metric="ddos.guard.honest_goodput", op=">=",
+                    threshold=0.9),
+            SloSpec(name="no-deadlock", metric="sim.all_finished",
+                    op="==", threshold=1.0),
+        ),
+    )
+
+
+def cross_plane(full: bool = False) -> WorkloadSpec:
+    """All three planes at once over the full function mix.
+
+    qos admission in front of every box, a seeded fault schedule, and a
+    probe drain racing a crash — plus churn, a flash crowd, a
+    load-balanced bulk service, scattered shards, and the puzzle-guarded
+    hidden service.  This is the repo's first everything-on integration
+    scenario; the regression test asserts no plane-interaction deadlocks
+    or counter leaks on top of these SLOs.
+    """
+    duration = _scaled(full, 360.0, 1200.0)
+    return WorkloadSpec(
+        name="cross-plane",
+        seed=80805,
+        duration_s=duration,
+        n_relays=14,
+        bento_fraction=0.7,
+        tenants=(
+            TenantSpec(name="probe", function="kvstore", shared=True,
+                       priority="interactive", ops_per_session=1,
+                       arrivals=ArrivalSpec(
+                           kind="poisson",
+                           rate_per_s=_scaled(full, 0.05, 0.1))),
+            TenantSpec(name="api", function="kvstore",
+                       priority="interactive", ops_per_session=2,
+                       deadline_s=60.0,
+                       arrivals=ArrivalSpec(
+                           kind="flash",
+                           rate_per_s=_scaled(full, 0.02, 0.05),
+                           burst_at_s=duration * 0.4,
+                           burst_duration_s=duration * 0.15,
+                           burst_rate_per_s=_scaled(full, 0.25, 0.6))),
+            TenantSpec(name="swarm", function="kvstore", priority="bulk",
+                       ops_per_session=2, deadline_s=120.0,
+                       arrivals=ArrivalSpec(
+                           kind="churn",
+                           rate_per_s=_scaled(full, 0.02, 0.04),
+                           churn_lifetime_s=30.0,
+                           churn_rejoin_prob=0.4)),
+            TenantSpec(name="cdn", function="loadbalancer",
+                       priority="bulk", payload_bytes=30_000,
+                       deadline_s=120.0,
+                       arrivals=ArrivalSpec(
+                           kind="poisson",
+                           rate_per_s=_scaled(full, 0.015, 0.04))),
+            TenantSpec(name="vault", function="shard", priority="bulk",
+                       payload_bytes=20_000, shard_n=3, shard_k=2,
+                       deadline_s=120.0,
+                       arrivals=ArrivalSpec(
+                           kind="poisson",
+                           rate_per_s=_scaled(full, 0.01, 0.03))),
+            TenantSpec(name="guard", function="ddos_defense",
+                       priority="bulk", payload_bytes=10_000,
+                       attack_fraction=0.4, pow_difficulty=5,
+                       deadline_s=120.0,
+                       arrivals=ArrivalSpec(
+                           kind="burst",
+                           burst_at_s=duration * 0.5,
+                           burst_duration_s=duration * 0.25,
+                           burst_arrivals=int(_scaled(full, 8, 24)))),
+        ),
+        planes=PlanesSpec(qos=True, qos_slots=10, qos_queue_depth=8,
+                          qos_queue_timeout_s=8.0,
+                          chaos=True, chaos_link_cuts=2,
+                          chaos_latency_spikes=2,
+                          chaos_mean_downtime_s=10.0,
+                          chaos_crash_at_s=duration * 0.7,
+                          migrate=True,
+                          migrate_drain_at_s=duration * 0.3),
+        slos=(
+            SloSpec(name="overall-goodput", metric="sessions.goodput",
+                    op=">=", threshold=0.6),
+            SloSpec(name="state-preserved",
+                    metric="probe.state_preserved", op="==",
+                    threshold=1.0),
+            SloSpec(name="attacks-rejected",
+                    metric="ddos.guard.rejection_rate", op=">=",
+                    threshold=1.0),
+            SloSpec(name="no-deadlock", metric="sim.all_finished",
+                    op="==", threshold=1.0),
+        ),
+    )
+
+
+PRESETS = {
+    "qos-flash": qos_flash,
+    "chaos-recovery": chaos_recovery,
+    "migrate-handoff": migrate_handoff,
+    "ddos-burst": ddos_burst,
+    "cross-plane": cross_plane,
+}
+
+
+def preset(name: str, full: bool = False) -> WorkloadSpec:
+    """Build a stock scenario by name (raises KeyError on unknown)."""
+    return PRESETS[name](full=full)
+
+
+def smoke_names() -> list[str]:
+    """The CI smoke sweep: one scenario per plane story."""
+    return ["qos-flash", "chaos-recovery", "migrate-handoff"]
+
+
+def sweep_names() -> list[str]:
+    """The full nightly matrix: every stock scenario."""
+    return list(PRESETS)

@@ -6,10 +6,7 @@ import pytest
 
 from repro.core.server import BentoServer
 from repro.enclave.attestation import IntelAttestationService
-from repro.obs.metrics import REGISTRY
-from repro.obs.span import TRACER
-from repro.perf.counters import counters
-from repro.perf.timing import reset_sections
+from repro.obs.testing import fresh_observability
 from repro.tor.testnet import TorTestNetwork
 
 
@@ -17,16 +14,11 @@ from repro.tor.testnet import TorTestNetwork
 def _fresh_observability():
     """No cross-test bleed through the process-wide instrumentation.
 
-    Zeroes the perf counters, metric values (in place — cached handles
-    stay valid), and section times before every test, and guarantees no
-    tracer sink leaks to the next test afterwards.
+    Shared with ``benchmarks/conftest.py`` via
+    :mod:`repro.obs.testing` so the two harnesses reset identically.
     """
-    TRACER.detach()
-    REGISTRY.reset()
-    counters.reset()
-    reset_sections()
-    yield
-    TRACER.detach()
+    with fresh_observability():
+        yield
 
 
 @pytest.fixture()
