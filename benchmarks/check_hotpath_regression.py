@@ -33,6 +33,11 @@ from pathlib import Path
 #: fixed overhead (~39 for the 10 MB macro and ~30 for the 1 MB smoke),
 #: so a per-byte ratio between different transfer sizes is meaningless —
 #: the switches-per-session budget in :func:`check_scale` guards it.
+#: The sharded kernel's barrier/IPC counters (``shard_epochs_completed``,
+#: ``shard_cross_events``, ``shard_barrier_wait_us``) are likewise
+#: excluded: they scale with epochs and partition quality, not bytes —
+#: :data:`SHARD_COUNTERS` pins them to zero here instead, since the
+#: hot-path benchmark always runs single-process.
 VOLUME_COUNTERS = (
     "bytes_zero_copied",
     "cells_crypted",
@@ -63,6 +68,12 @@ QOS_COUNTERS = ("qos_admitted", "qos_rejected", "qos_shed",
 MIGRATE_COUNTERS = ("checkpoints_taken", "migrations_started",
                     "migrations_completed", "migrations_failed",
                     "standby_promotions")
+
+#: And for the sharded kernel: the hot-path benchmark is a one-process
+#: run, so any nonzero epoch/cross-event/barrier count means sharding
+#: machinery leaked into the plain event loop.
+SHARD_COUNTERS = ("shard_epochs_completed", "shard_cross_events",
+                  "shard_barrier_wait_us")
 
 
 def check(reference: dict, current: dict, tolerance: float) -> list[str]:
@@ -100,6 +111,12 @@ def check(reference: dict, current: dict, tolerance: float) -> list[str]:
                     f"{section}: {name} = {cur['counters'][name]} — the "
                     f"migration plane ran in a plane-off scenario; it "
                     f"must stay out of the hot path")
+        for name in SHARD_COUNTERS:
+            if cur["counters"].get(name, 0) != 0:
+                problems.append(
+                    f"{section}: {name} = {cur['counters'][name]} — the "
+                    f"sharded kernel's barriers ran in a single-process "
+                    f"benchmark; they must stay out of the hot path")
         legacy = cur["counters"].get("legacy_threads_spawned", 0)
         if legacy != 0:
             problems.append(

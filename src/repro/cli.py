@@ -141,9 +141,14 @@ def _scenario_trace_report(seed: int, out: str = "trace-report") -> None:
     print("load trace.json at ui.perfetto.dev (or chrome://tracing)")
 
 
-def _scenario_scale_report(seed: int) -> None:
+def _scenario_scale_report(seed: int, workers: int = 1) -> None:
     """Run one in-process N=100 session sweep from the scale benchmark
     and print wall-clock, event-throughput, and cache-hit-rate numbers.
+
+    With ``--workers K`` (K > 1) it instead runs the sharded-kernel
+    mesh quick look: the ``MeshScenario`` at N=10k sessions on K shard
+    workers and on one, printing the parity check, epoch/cross-event
+    counts, and speedup.
 
     The full subprocess sweep (N in {10, 100, 1000}, with peak-RSS
     attribution per N and the frozen pre-optimization baseline) lives in
@@ -161,6 +166,32 @@ def _scenario_scale_report(seed: int) -> None:
     spec = importlib.util.spec_from_file_location("bench_scale", bench_path)
     bench = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(bench)
+
+    if workers > 1:
+        n_sessions = bench.PARALLEL_SMOKE_N
+        base = bench.run_mesh(n_sessions, 1, seed)
+        sharded = bench.run_mesh(n_sessions, workers, seed)
+        parity = sharded["trace_sha256"] == base["trace_sha256"]
+        print(f"scale report (seed={seed}): mesh N={n_sessions} "
+              f"on {workers} shard workers "
+              f"({'fork' if sharded['processes'] else 'inline'} driver)")
+        print(f"  lookahead:         {sharded['lookahead_s'] * 1000:.1f}ms  "
+              f"epochs={sharded['epochs_completed']}  "
+              f"cross={sharded['cross_shard_events']}")
+        print(f"  wall:              {sharded['wall_s']:.2f}s vs "
+              f"{base['wall_s']:.2f}s single-process "
+              f"({base['wall_s'] / sharded['wall_s']:.2f}x)")
+        print(f"  critical path:     {sharded['critical_path_s']:.2f}s "
+              f"(modeled "
+              f"{base['critical_path_s'] / sharded['critical_path_s']:.2f}x "
+              f"with a core per worker)")
+        print(f"  peak rss/worker:   "
+              f"{max(sharded['peak_rss_per_worker_kb'])}kB")
+        print(f"  merged trace:      "
+              f"{'byte-identical to single-process' if parity else 'MISMATCH'}")
+        if not parity:
+            raise SystemExit(1)
+        return
 
     result = bench.run_scale(100, seed=seed)
     print(f"scale report (seed={seed}): {result['n_sessions']} sessions, "
@@ -253,7 +284,8 @@ def _scenario_migrate_report(seed: int) -> None:
 
 def _scenario_workload_report(seed: int, spec_path: str | None = None,
                               preset_name: str | None = None,
-                              out: str | None = None) -> None:
+                              out: str | None = None,
+                              workers: int = 1) -> None:
     """Run one declarative workload scenario and print its SLO report.
 
     The scenario comes from ``--spec FILE`` (a WorkloadSpec JSON file) or
@@ -262,6 +294,12 @@ def _scenario_workload_report(seed: int, spec_path: str | None = None,
     assertions — so ``--seed`` is ignored here; edit the spec to change
     it.  With ``--out DIR`` the run also writes ``spec.json``,
     ``report.json``, and the replay-identity ``events.jsonl``.
+
+    ``--workers K`` runs the scenario as K tenant-partitioned replica
+    fleets (forked processes where available; see
+    :mod:`repro.workload.sharded`) and rolls the merged result into the
+    same SLO report.  The per-run ``events.jsonl`` artifact is a
+    single-fleet replay identity and is skipped for sharded runs.
 
     Exits nonzero when any declared SLO fails.
     """
@@ -272,7 +310,7 @@ def _scenario_workload_report(seed: int, spec_path: str | None = None,
     from repro.obs.export import events_to_jsonl
     from repro.obs.span import EventLog
     from repro.workload import (WorkloadSpec, build_report, render_report,
-                                run_workload)
+                                run_workload, run_workload_sharded)
     from repro.workload.presets import PRESETS, preset
 
     if spec_path is not None:
@@ -284,26 +322,39 @@ def _scenario_workload_report(seed: int, spec_path: str | None = None,
                   + ", ".join(sorted(PRESETS)))
             raise SystemExit(2)
         spec = preset(name)
-    log = EventLog()
-    result = run_workload(spec, trace_log=log)
+    log = None
+    if workers > 1:
+        result = run_workload_sharded(spec, workers)
+        print(f"[{len(result['fleets'])} tenant-partitioned fleets on "
+              f"{workers} workers]")
+    else:
+        log = EventLog()
+        result = run_workload(spec, trace_log=log)
     report = build_report(spec, result)
     print(render_report(report))
     if out is not None:
         os.makedirs(out, exist_ok=True)
-        jsonl = events_to_jsonl(log)
-        digest = hashlib.sha256(jsonl.encode("utf-8")).hexdigest()
         with open(os.path.join(out, "spec.json"), "w",
                   encoding="utf-8") as fh:
             fh.write(spec.to_json())
-        with open(os.path.join(out, "events.jsonl"), "w",
-                  encoding="utf-8") as fh:
-            fh.write(jsonl)
+        artifacts = {"report": report}
+        if log is not None:
+            jsonl = events_to_jsonl(log)
+            digest = hashlib.sha256(jsonl.encode("utf-8")).hexdigest()
+            with open(os.path.join(out, "events.jsonl"), "w",
+                      encoding="utf-8") as fh:
+                fh.write(jsonl)
+            artifacts["events_jsonl_sha256"] = digest
         with open(os.path.join(out, "report.json"), "w",
                   encoding="utf-8") as fh:
-            json.dump({"report": report, "events_jsonl_sha256": digest},
-                      fh, indent=2, sort_keys=True)
+            json.dump(artifacts, fh, indent=2, sort_keys=True)
             fh.write("\n")
-        print(f"artifacts in {out}/ (events.jsonl sha256 {digest[:16]}…)")
+        if log is not None:
+            print(f"artifacts in {out}/ "
+                  f"(events.jsonl sha256 {digest[:16]}…)")
+        else:
+            print(f"artifacts in {out}/ (events.jsonl skipped: sharded "
+                  f"runs have per-fleet logs)")
     if not report["passed"]:
         raise SystemExit(1)
 
@@ -345,6 +396,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workload-out", default=None, metavar="DIR",
                         help="workload-report: also write spec.json, "
                              "report.json, and events.jsonl here")
+    parser.add_argument("--workers", type=int, default=1, metavar="K",
+                        help="scale-report: shard the mesh sim across K "
+                             "worker processes and print the parallel "
+                             "quick-look; workload-report: run K "
+                             "tenant-partitioned replica fleets "
+                             "(default: 1)")
     args = parser.parse_args(argv)
     if args.scenario == "list":
         for name in sorted(SCENARIOS):
@@ -355,7 +412,10 @@ def main(argv: list[str] | None = None) -> int:
     elif args.scenario == "workload-report":
         SCENARIOS[args.scenario](args.seed, spec_path=args.spec,
                                  preset_name=args.preset,
-                                 out=args.workload_out)
+                                 out=args.workload_out,
+                                 workers=args.workers)
+    elif args.scenario == "scale-report":
+        SCENARIOS[args.scenario](args.seed, workers=args.workers)
     else:
         SCENARIOS[args.scenario](args.seed)
     return 0

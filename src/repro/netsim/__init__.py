@@ -12,11 +12,15 @@ this reproduction.  It provides:
 * :mod:`~repro.netsim.http` -- a small HTTP/S model for web workloads,
 * :mod:`~repro.netsim.trace` -- packet traces for fingerprinting attacks,
 * :class:`~repro.netsim.faults.FaultPlane` -- deterministic fault injection
-  (node crashes, link cuts, latency spikes) on a seeded schedule.
+  (node crashes, link cuts, latency spikes) on a seeded schedule,
+* :class:`~repro.netsim.shard.ShardedSimulator` -- the conservative
+  parallel kernel: nodes partitioned across worker processes
+  (:mod:`~repro.netsim.partition`), epochs bounded by cross-shard
+  lookahead, merged traces byte-identical to single-process runs.
 """
 
 from repro.netsim.simulator import Future, Simulator, SimThread, SimTimeoutError
-from repro.netsim.node import Node
+from repro.netsim.node import Node, RemoteNode
 from repro.netsim.network import Network, NetworkError
 from repro.netsim.connection import Connection, ConnectionClosed
 from repro.netsim.bytestream import (
@@ -29,6 +33,14 @@ from repro.netsim.bytestream import (
 from repro.netsim.trace import PacketRecord, TraceRecorder
 from repro.netsim.http import HttpResponse, HttpServer, http_get
 from repro.netsim.faults import FaultPlane
+from repro.netsim.partition import Partition, lookahead_s, partition_nodes
+from repro.netsim.shard import (
+    HalfConnection,
+    ShardContext,
+    ShardedSimulator,
+    canonical_trace_bytes,
+)
+from repro.netsim.scenarios import MeshScenario
 
 __all__ = [
     "Simulator",
@@ -51,4 +63,13 @@ __all__ = [
     "HttpResponse",
     "http_get",
     "FaultPlane",
+    "RemoteNode",
+    "Partition",
+    "partition_nodes",
+    "lookahead_s",
+    "ShardContext",
+    "HalfConnection",
+    "ShardedSimulator",
+    "canonical_trace_bytes",
+    "MeshScenario",
 ]

@@ -734,13 +734,15 @@ class Simulator:
 
     # -- running ------------------------------------------------------------
 
-    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> None:
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> int:
         """Process events in order until the queue drains (or ``until``).
 
         Actor wake-ups happen synchronously inside their events, so when
         this returns with an empty queue every actor is parked or done.
         ``max_events`` is an exact bound: the run raises before event
-        ``max_events + 1`` would execute.
+        ``max_events + 1`` would execute.  Returns the number of events
+        processed by this call (sharded runs sum these across epochs so
+        one merged cap can cover K shards).
         """
         if self._running:
             raise SimulationError("run() re-entered; use actors to block")
@@ -772,6 +774,7 @@ class Simulator:
                     heap = self._heap
             if until is not None and self.now < until:
                 self.now = until
+            return processed
         finally:
             self._running = False
             _perf.events_processed += processed
@@ -799,6 +802,20 @@ class Simulator:
         heapq.heapify(self._heap)
         self._cancelled = 0
         _perf.heap_compactions += 1
+
+    def next_event_time(self) -> float:
+        """Earliest pending live event time (``inf`` when idle).
+
+        Used by the sharded kernel to pick the next epoch horizon; pops
+        cancelled tombstones off the top so the answer reflects work the
+        loop would actually do.
+        """
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            _, _, event = heapq.heappop(heap)
+            event.fn = _discarded
+            self._cancelled -= 1
+        return heap[0][0] if heap else float("inf")
 
     def run_until_done(self, actor: Actor, until: Optional[float] = None) -> Any:
         """Run the simulation until ``actor`` completes, then return its result."""

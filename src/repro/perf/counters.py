@@ -44,6 +44,13 @@ _FIELDS = (
     "qos_rejected",        # admissions refused with a RETRY_AFTER
     "qos_shed",            # work dropped by the load shedder
     "qos_throttles",       # fair-scheduler pacing sleeps inserted
+    # -- sharded kernel ----------------------------------------------------
+    # All three stay 0 in single-process runs; they are barrier/IPC
+    # bookkeeping, not per-byte work, so the hot-path regression guard
+    # excludes them from the per-byte volume ratios.
+    "shard_epochs_completed",   # epoch barriers crossed by a sharded run
+    "shard_cross_events",       # cross-shard dial/chunk/close events routed
+    "shard_barrier_wait_us",    # wall-clock µs the parent spent at barriers
     # -- migration plane ---------------------------------------------------
     # All five stay 0 with the plane disabled; the hot-path regression
     # guard pins that, so migration can never touch the per-byte path.

@@ -1,0 +1,178 @@
+"""Tenant-sharded workload execution: replica fleets behind one report.
+
+The netsim kernel shards one simulated world across worker processes
+with bit-identical merged traces (:mod:`repro.netsim.shard`).  The
+workload plane's unit of scale is different: one run is one complete
+Bento deployment, and its *tenants* — not its nodes — are the
+independent dimension.  ``workers=K`` here therefore partitions the
+spec's tenants across K replica fleets (seeded, weight-balanced via the
+same partitioner the kernel uses), runs each sub-spec as a full
+deployment in its own forked worker process, and merges the raw results
+into one ``run_workload``-shaped dict that
+:func:`repro.workload.slo.build_report` rolls up against the full spec.
+
+What is preserved exactly: every tenant's arrival schedule (generation
+forks one RNG stream per tenant, so a tenant's events are identical in
+any sub-spec), per-tenant outcome records, counters (summed), recovery
+samples (concatenated).  What changes: tenants in different fleets no
+longer contend for the same boxes, so plane-level interactions become
+per-fleet — the compatibility contract is the SLO *verdict* on the
+stock presets (the tests pin qos-flash at K=4), not bit-identity with
+the single-fleet run.  ``workers=1`` delegates to
+:func:`~repro.workload.runner.run_workload` unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.netsim.partition import partition_nodes
+from repro.netsim.shard import fork_available
+from repro.util.errors import ReproError
+from repro.workload.generator import generate
+from repro.workload.runner import run_workload
+from repro.workload.spec import WorkloadSpec
+
+__all__ = ["run_workload_sharded", "shard_spec"]
+
+
+def shard_spec(spec: WorkloadSpec, workers: int) -> list[WorkloadSpec]:
+    """Split a spec into per-fleet sub-specs, balanced by arrival count.
+
+    Returns at most ``workers`` specs; fewer when the spec has fewer
+    tenants (a fleet with no tenants would be an empty simulation).
+    Every sub-spec keeps the full spec's seed, planes, scale, and SLOs —
+    only the tenant tuple shrinks.
+    """
+    if workers < 1:
+        raise ReproError("workers must be >= 1")
+    if workers == 1 or len(spec.tenants) == 1:
+        return [spec]
+    per_tenant = generate(spec).per_tenant()
+    names = [tenant.name for tenant in spec.tenants]
+    # +1 so a zero-arrival tenant still carries weight (its operator
+    # actor is real work even if no client ever shows up).
+    weights = {name: float(len(per_tenant[name]) + 1) for name in names}
+    part = partition_nodes(names, min(workers, len(names)),
+                           weights=weights, seed=spec.seed)
+    subs = []
+    for shard in range(part.n_shards):
+        chosen = set(part.nodes_of(shard))
+        if not chosen:
+            continue
+        subs.append(replace(spec, tenants=tuple(
+            tenant for tenant in spec.tenants if tenant.name in chosen)))
+    return subs
+
+
+def run_workload_sharded(spec: WorkloadSpec, workers: int,
+                         verbose: bool = False,
+                         processes: Optional[bool] = None) -> dict:
+    """Run a spec across ``workers`` tenant-partitioned replica fleets.
+
+    Returns a dict with the same shape as :func:`run_workload` (so
+    ``build_report(spec, result)`` applies unchanged), plus a
+    ``fleets`` list recording each sub-spec's digest.  ``processes``
+    forces the fork driver on or off (default: fork where available).
+    """
+    if workers == 1:
+        return run_workload(spec, verbose=verbose)
+    subs = shard_spec(spec, workers)
+    if processes is None:
+        processes = fork_available()
+    if processes and len(subs) > 1:
+        results = _run_forked(subs, verbose)
+    else:
+        results = [run_workload(sub, verbose=verbose) for sub in subs]
+    return _merge_results(spec, results)
+
+
+def _merge_results(spec: WorkloadSpec, results: list) -> dict:
+    workload = generate(spec)
+    counters: dict[str, int] = {}
+    fault_log: dict[str, int] = {}
+    tenants: dict = {}
+    service_stats: dict = {}
+    recovery: list[float] = []
+    unfinished: list[str] = []
+    probe = None
+    for result in results:
+        tenants.update(result["tenants"])
+        service_stats.update(result["service_stats"])
+        recovery.extend(result["recovery_samples"])
+        unfinished.extend(result["unfinished"])
+        if result["probe"] is not None:
+            probe = result["probe"]
+        for name, value in result["counters"].items():
+            counters[name] = counters.get(name, 0) + value
+        for kind, count in result["fault_log"].items():
+            fault_log[kind] = fault_log.get(kind, 0) + count
+    return {
+        "scenario": spec.name,
+        "seed": spec.seed,
+        "spec_digest": spec.digest(),
+        "workload_digest": workload.digest(),
+        "boxes": results[0]["boxes"],
+        "n_events": len(workload.events),
+        "fleets": [result["spec_digest"] for result in results],
+        "tenants": {name: tenants[name] for name in sorted(tenants)},
+        "service_stats": dict(sorted(service_stats.items())),
+        "probe": probe,
+        "recovery_samples": recovery,
+        "counters": counters,
+        "fault_log": dict(sorted(fault_log.items())),
+        "sim_time": max(result["sim_time"] for result in results),
+        "all_finished": all(result["all_finished"] for result in results),
+        "unfinished": sorted(unfinished),
+    }
+
+
+def _run_forked(subs: list, verbose: bool) -> list:
+    """One forked process per fleet; results come back over pipes."""
+    import multiprocessing
+    mp = multiprocessing.get_context("fork")
+    pipes = []
+    procs = []
+    for sub in subs:
+        parent_end, child_end = mp.Pipe()
+        proc = mp.Process(target=_fleet_main,
+                          args=(child_end, sub, verbose), daemon=True)
+        proc.start()
+        child_end.close()
+        pipes.append(parent_end)
+        procs.append(proc)
+    results = []
+    try:
+        for pipe in pipes:
+            try:
+                kind, payload = pipe.recv()
+            except EOFError:
+                raise ReproError(
+                    "sharded workload fleet died without a result")
+            if kind == "error":
+                raise ReproError(
+                    f"sharded workload fleet failed:\n{payload}")
+            results.append(payload)
+    except BaseException:
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        raise
+    finally:
+        for pipe in pipes:
+            pipe.close()
+    for proc in procs:
+        proc.join(timeout=30)
+    return results
+
+
+def _fleet_main(pipe, sub: WorkloadSpec, verbose: bool) -> None:
+    try:
+        pipe.send(("ok", run_workload(sub, verbose=verbose)))
+    except BaseException:  # noqa: BLE001 - reported to the parent
+        import traceback
+        try:
+            pipe.send(("error", traceback.format_exc()))
+        except OSError:  # pragma: no cover - parent already gone
+            pass

@@ -1,0 +1,154 @@
+"""Tenant-sharded workload fleets: partitioning, merging, verdict parity.
+
+The contract of :mod:`repro.workload.sharded` is weaker than the netsim
+kernel's bit-identity — tenants in different fleets stop contending for
+the same boxes — so these tests pin what *is* promised: the tenant
+partition is exact and seeded, every tenant's generated schedule is
+unchanged inside its sub-spec, the merged result dict is
+``run_workload``-shaped with summed counters, and the stock qos-flash
+preset reaches the same SLO verdict at K=4 as at K=1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.errors import ReproError
+from repro.util.serialization import canonical_encode
+from repro.workload import (ArrivalSpec, PlanesSpec, SloSpec, TenantSpec,
+                            WorkloadSpec, build_report, generate,
+                            run_workload, run_workload_sharded, shard_spec)
+from repro.workload.presets import preset
+
+
+def _three_tenant_spec() -> WorkloadSpec:
+    return WorkloadSpec(
+        name="tiny-sharded", seed=47, duration_s=60.0, n_relays=6,
+        bento_fraction=0.5,
+        tenants=(
+            TenantSpec(name="api", function="kvstore",
+                       priority="interactive", ops_per_session=2,
+                       deadline_s=30.0,
+                       arrivals=ArrivalSpec(kind="poisson",
+                                            rate_per_s=0.12)),
+            TenantSpec(name="batch", function="kvstore", priority="bulk",
+                       arrivals=ArrivalSpec(kind="poisson",
+                                            rate_per_s=0.08)),
+            TenantSpec(name="probe", function="kvstore", shared=True,
+                       priority="interactive",
+                       arrivals=ArrivalSpec(kind="poisson",
+                                            rate_per_s=0.05)),
+        ),
+        planes=PlanesSpec(qos=True, qos_slots=2, qos_queue_depth=2),
+        slos=(
+            SloSpec(name="goodput", metric="sessions.goodput", op=">=",
+                    threshold=0.5),
+            SloSpec(name="no-deadlock", metric="sim.all_finished",
+                    op="==", threshold=1.0),
+        ))
+
+
+class TestShardSpec:
+    def test_workers_one_is_the_identity(self):
+        spec = _three_tenant_spec()
+        assert shard_spec(spec, 1) == [spec]
+
+    def test_single_tenant_never_splits(self):
+        spec = _three_tenant_spec()
+        solo = WorkloadSpec.from_dict(
+            {**spec.to_dict(), "tenants": spec.to_dict()["tenants"][:1]})
+        assert shard_spec(solo, 4) == [solo]
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ReproError, match="workers"):
+            shard_spec(_three_tenant_spec(), 0)
+
+    def test_partition_is_exact_and_preserves_schedules(self):
+        spec = _three_tenant_spec()
+        subs = shard_spec(spec, 2)
+        assert 1 < len(subs) <= 2
+        names = [t.name for sub in subs for t in sub.tenants]
+        # Every tenant lands in exactly one fleet.
+        assert sorted(names) == sorted(t.name for t in spec.tenants)
+        # Sub-specs differ from the parent only in their tenant tuple.
+        for sub in subs:
+            assert (sub.seed, sub.planes, sub.duration_s) == \
+                (spec.seed, spec.planes, spec.duration_s)
+        # The per-tenant RNG forks make each tenant's schedule identical
+        # inside its sub-spec — the property the whole design rests on.
+        full = generate(spec).per_tenant()
+        for sub in subs:
+            for name, events in generate(sub).per_tenant().items():
+                assert events == full[name]
+
+    def test_partition_is_seeded(self):
+        spec = _three_tenant_spec()
+        first = [[t.name for t in sub.tenants]
+                 for sub in shard_spec(spec, 2)]
+        second = [[t.name for t in sub.tenants]
+                  for sub in shard_spec(spec, 2)]
+        assert first == second
+
+    def test_more_workers_than_tenants_caps_at_tenants(self):
+        spec = _three_tenant_spec()
+        subs = shard_spec(spec, 16)
+        assert len(subs) == len(spec.tenants)
+        for sub in subs:
+            assert len(sub.tenants) == 1
+
+
+class TestRunSharded:
+    def test_merged_result_is_run_workload_shaped(self):
+        spec = _three_tenant_spec()
+        single = run_workload(spec)
+        merged = run_workload_sharded(spec, 2, processes=False)
+        assert set(merged) == set(single) | {"fleets"}
+        assert merged["spec_digest"] == single["spec_digest"]
+        assert merged["workload_digest"] == single["workload_digest"]
+        assert merged["n_events"] == single["n_events"]
+        assert sorted(merged["tenants"]) == sorted(single["tenants"])
+        assert len(merged["fleets"]) == 2
+        # Arrivals are per-tenant RNG streams, so each tenant sees the
+        # same number of sessions in whichever fleet it rode in.
+        for name, stats in single["tenants"].items():
+            assert len(merged["tenants"][name]["records"]) == \
+                len(stats["records"])
+        assert merged["all_finished"]
+        # Counters are sums over fleets; with qos slots per fleet no
+        # admission is lost relative to the single shared deployment.
+        assert merged["counters"]["qos_admitted"] >= \
+            single["counters"]["qos_admitted"]
+
+    def test_sharded_run_is_deterministic(self):
+        spec = _three_tenant_spec()
+        first = run_workload_sharded(spec, 2, processes=False)
+        second = run_workload_sharded(spec, 2, processes=False)
+        assert canonical_encode(first) == canonical_encode(second)
+
+    def test_forked_fleets_match_sequential(self):
+        spec = _three_tenant_spec()
+        inline = run_workload_sharded(spec, 2, processes=False)
+        forked = run_workload_sharded(spec, 2, processes=True)
+        assert canonical_encode(inline) == canonical_encode(forked)
+
+    def test_workers_one_delegates_exactly(self):
+        spec = _three_tenant_spec()
+        assert canonical_encode(run_workload_sharded(spec, 1)) == \
+            canonical_encode(run_workload(spec))
+
+
+class TestVerdictParity:
+    """The stated compatibility contract: stock presets keep their SLO
+    verdict when run as tenant-partitioned fleets."""
+
+    def test_qos_flash_verdict_unchanged_at_k4(self):
+        spec = preset("qos-flash")
+        single = build_report(spec, run_workload(spec))
+        sharded = build_report(spec, run_workload_sharded(spec, 4))
+        assert single["passed"] and sharded["passed"]
+        by_name = {s["name"]: s["status"] for s in sharded["slos"]}
+        # Every SLO the single run passes, the sharded run passes too
+        # (qos-engaged still fires: the flash tenant alone overloads
+        # its fleet's slots).
+        for slo in single["slos"]:
+            assert by_name[slo["name"]] == slo["status"]
