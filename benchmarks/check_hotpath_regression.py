@@ -75,6 +75,12 @@ MIGRATE_COUNTERS = ("checkpoints_taken", "migrations_started",
 SHARD_COUNTERS = ("shard_epochs_completed", "shard_cross_events",
                   "shard_barrier_wait_us")
 
+#: And for the chain plane: it is strictly opt-in, so a scenario that
+#: never constructed a ChainDeployment must embed nothing, route no arc
+#: bytes, and deliver no units.
+CHAIN_COUNTERS = ("chain_embeds", "chain_reembeds", "chain_arc_bytes",
+                  "chain_units_delivered")
+
 
 def check(reference: dict, current: dict, tolerance: float) -> list[str]:
     """Return a list of human-readable regression descriptions."""
@@ -117,6 +123,12 @@ def check(reference: dict, current: dict, tolerance: float) -> list[str]:
                     f"{section}: {name} = {cur['counters'][name]} — the "
                     f"sharded kernel's barriers ran in a single-process "
                     f"benchmark; they must stay out of the hot path")
+        for name in CHAIN_COUNTERS:
+            if cur["counters"].get(name, 0) != 0:
+                problems.append(
+                    f"{section}: {name} = {cur['counters'][name]} — the "
+                    f"chain plane ran in a scenario that never opted in; "
+                    f"it must stay out of the hot path")
         legacy = cur["counters"].get("legacy_threads_spawned", 0)
         if legacy != 0:
             problems.append(

@@ -13,6 +13,8 @@ from repro.version import __version__
 
 
 def _scenario_quickstart(seed: int) -> None:
+    """Deploy one attested hello-world function on a Bento box and invoke
+    it over Tor — the paper's core loop, end to end."""
     from repro.core import BentoClient, BentoServer, FunctionManifest
     from repro.enclave.attestation import IntelAttestationService
     from repro.tor import TorTestNetwork
@@ -44,6 +46,8 @@ def _scenario_quickstart(seed: int) -> None:
 
 
 def _scenario_fingerprint(seed: int) -> None:
+    """Measure website-fingerprinting attack accuracy with and without
+    the Browser defense (§9.2's traffic-analysis evaluation)."""
     from repro.fingerprint import FingerprintLab, KnnClassifier, evaluate_split
 
     lab = FingerprintLab(n_sites=10, n_relays=10, seed=seed)
@@ -249,6 +253,64 @@ def _scenario_qos_report(seed: int) -> None:
               f"shed={result['qos_shed']}")
 
 
+def _scenario_chain_report(seed: int) -> None:
+    """Embed the stock Cover→Browser-defense→Store chain jointly against
+    the directory's load table, deploy it over attested sessions, push
+    traffic units end to end, and print the joint-vs-greedy placement
+    contrast.
+
+    The full overload sweep (0.5x-4x offered load, with the gated
+    joint-vs-greedy goodput margin) lives in
+    ``benchmarks/bench_chain.py``; this scenario is the quick look.
+    """
+    from repro.chain import ChainDeployment, greedy_embed, pipeline_chain
+    from repro.core import BentoClient, BentoServer
+    from repro.enclave.attestation import IntelAttestationService
+    from repro.migrate import MigrationConfig
+    from repro.perf.counters import counters
+    from repro.tor import TorTestNetwork
+
+    net = TorTestNetwork(n_relays=12, seed=seed, bento_fraction=0.5)
+    ias = IntelAttestationService(net.sim.rng.fork("ias"))
+    servers = [BentoServer(relay, net.authority, ias=ias,
+                           migrate=MigrationConfig(quiesce_poll_s=0.05))
+               for relay in net.bento_boxes()]
+    client = BentoClient(net.create_client("chain-op"), ias=ias)
+    spec = pipeline_chain()
+    dep = ChainDeployment(client, spec,
+                          servers={s.relay.fingerprint: s for s in servers})
+    counters.reset()
+    verified = []
+
+    def flow(thread):
+        """Deploy the chain, stream five units through it, tear down."""
+        yield from dep.deploy(thread)
+        for i in range(5):
+            payload = f"unit-{i}".encode()
+            out = yield from dep.push(thread, payload)
+            verified.append(out == dep.expected_outputs(payload))
+        yield from dep.shutdown(thread)
+
+    net.sim.run_until_done(net.sim.spawn(flow))
+    greedy = greedy_embed(spec, client.discover_boxes(),
+                          client.tor.directory.load_table())
+    print(f"chain report (seed={seed}): template {spec.name!r}, "
+          f"digest {spec.digest()[:16]}…")
+    print(f"  units pushed : {len(verified)} "
+          f"(outputs verified: {sum(verified)}/{len(verified)})")
+    for label, overlay in (("joint", dep.overlay), ("greedy", greedy)):
+        obj = overlay.objective
+        print(f"  {label:6s} embed : {obj['replicas']} replicas on "
+              f"{obj['boxes_used']} boxes, peak box load "
+              f"{obj['peak_box_units_per_s']:.1f} units/s, "
+              f"cross-box {obj['cross_box_bytes_per_s']:.0f} B/s")
+    print(f"  counters     : embeds={counters.chain_embeds} "
+          f"reembeds={counters.chain_reembeds} "
+          f"arc_bytes={counters.chain_arc_bytes} "
+          f"delivered={counters.chain_units_delivered}")
+    print(f"done at simulated t={net.sim.now:.2f}s")
+
+
 def _scenario_migrate_report(seed: int) -> None:
     """Run the chaos soak once per recovery mode and print how the same
     losses recover: cold respawn vs warm-standby promotion for the
@@ -365,6 +427,7 @@ SCENARIOS = {
     "migrate-report": _scenario_migrate_report,
     "scale-report": _scenario_scale_report,
     "qos-report": _scenario_qos_report,
+    "chain-report": _scenario_chain_report,
     "fingerprint": _scenario_fingerprint,
     "perf-report": _scenario_perf_report,
     "chaos-soak": _scenario_chaos_soak,
@@ -404,8 +467,11 @@ def main(argv: list[str] | None = None) -> int:
                              "(default: 1)")
     args = parser.parse_args(argv)
     if args.scenario == "list":
+        width = max(len(name) for name in SCENARIOS)
         for name in sorted(SCENARIOS):
-            print(name)
+            doc = (SCENARIOS[name].__doc__ or "").strip()
+            summary = doc.splitlines()[0] if doc else ""
+            print(f"{name:<{width}}  {summary}")
         return 0
     if args.scenario == "trace-report":
         SCENARIOS[args.scenario](args.seed, out=args.out)

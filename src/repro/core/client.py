@@ -598,6 +598,22 @@ class BentoSession:
             messages.SHUTDOWN, token=self.shutdown_token),
             messages.SHUTDOWN_OK, timeout)
 
+    def drop_transport(self) -> None:
+        """Abandon the stream after an ambiguous failure.
+
+        When a read times out, the reply may still be in flight — the
+        next read on this stream could return the *previous* op's frame
+        and silently cross replies.  Closing the transport discards
+        anything in flight (queued out-of-order frames included); the
+        session stays attached, and the next operation's retry path
+        reconnects with a clean stream.
+        """
+        try:
+            self.framed.close()
+        except Exception:
+            pass
+        self._pending.clear()
+
     def close(self) -> None:
         """Drop the transport (the function keeps running; §5.3
         fate-sharing is with the *box*, not this connection)."""

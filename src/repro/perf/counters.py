@@ -59,6 +59,13 @@ _FIELDS = (
     "migrations_completed",  # drains that restored on the destination box
     "migrations_failed",   # drains aborted (no destination, quiesce timeout)
     "standby_promotions",  # warm standbys promoted instead of cold respawn
+    # -- chain plane --------------------------------------------------------
+    # All four stay 0 with the plane off; the hot-path regression guard
+    # pins that, so chain routing can never touch the per-byte path.
+    "chain_embeds",        # overlays computed (joint or greedy engine)
+    "chain_reembeds",      # re-embeddings triggered by failures
+    "chain_arc_bytes",     # payload bytes routed across chain arcs
+    "chain_units_delivered",  # traffic units that reached every sink
 )
 
 

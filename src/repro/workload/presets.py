@@ -282,12 +282,53 @@ def cross_plane(full: bool = False) -> WorkloadSpec:
     )
 
 
+def chain_pipeline(full: bool = False) -> WorkloadSpec:
+    """The chain plane's story: a Cover→Browser-defense→Store graph.
+
+    An operator embeds the stock pipeline template against the qos
+    directory's advertised slack (qos is on so boxes actually advertise)
+    and deploys every replica as a real attested session; arrivals are
+    traffic units pushed through the whole graph, good only if the sink's
+    bytes match the template's transform oracle.  The goodput SLO is the
+    chain plane's per-plane assertion.
+    """
+    duration = _scaled(full, 240.0, 900.0)
+    return WorkloadSpec(
+        name="chain-pipeline",
+        seed=80806,
+        duration_s=duration,
+        n_relays=12,
+        bento_fraction=0.5,
+        tenants=(
+            TenantSpec(name="pipeline", function="chain",
+                       priority="interactive", payload_bytes=2048,
+                       deadline_s=90.0,
+                       arrivals=ArrivalSpec(
+                           kind="poisson",
+                           rate_per_s=_scaled(full, 0.05, 0.12))),
+        ),
+        planes=PlanesSpec(qos=True, qos_slots=8, qos_queue_depth=8,
+                          qos_queue_timeout_s=8.0),
+        slos=(
+            SloSpec(name="chain-goodput", metric="tenants.pipeline.goodput",
+                    op=">=", threshold=0.9),
+            SloSpec(name="chain-deployed", metric="chain.embeds",
+                    op=">=", threshold=1.0),
+            SloSpec(name="chain-units", metric="chain.units_delivered",
+                    op=">=", threshold=1.0),
+            SloSpec(name="no-deadlock", metric="sim.all_finished",
+                    op="==", threshold=1.0),
+        ),
+    )
+
+
 PRESETS = {
     "qos-flash": qos_flash,
     "chaos-recovery": chaos_recovery,
     "migrate-handoff": migrate_handoff,
     "ddos-burst": ddos_burst,
     "cross-plane": cross_plane,
+    "chain-pipeline": chain_pipeline,
 }
 
 
@@ -298,7 +339,8 @@ def preset(name: str, full: bool = False) -> WorkloadSpec:
 
 def smoke_names() -> list[str]:
     """The CI smoke sweep: one scenario per plane story."""
-    return ["qos-flash", "chaos-recovery", "migrate-handoff"]
+    return ["qos-flash", "chaos-recovery", "migrate-handoff",
+            "chain-pipeline"]
 
 
 def sweep_names() -> list[str]:

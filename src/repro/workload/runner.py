@@ -120,7 +120,8 @@ def _run(spec: WorkloadSpec, workload: Workload, verbose: bool) -> dict:
 
     per_tenant_events = workload.per_tenant()
     operators = [t for t in spec.tenants
-                 if t.function in ("loadbalancer", "shard", "ddos_defense")]
+                 if t.function in ("loadbalancer", "shard", "ddos_defense",
+                                   "chain")]
 
     shared: dict = {
         "busy_fps": set(),      # boxes hosting tenant services: do not crash
@@ -481,6 +482,65 @@ def _run(spec: WorkloadSpec, workload: Workload, verbose: bool) -> dict:
         record["outcome"] = ("ok" if body == shared["contents"][tenant.name]
                              else "failed")
 
+    # -- chain tenants: a service graph embedded and driven end to end ------
+
+    def chain_operator(task: Actor, tenant: TenantSpec):
+        from repro.chain import ChainDeployment, pipeline_chain
+
+        client = BentoClient(net.create_client(f"{tenant.name}-op"),
+                             ias=ias)
+        template = pipeline_chain(name=f"{tenant.name}-chain", pad_bytes=64)
+        servers = {s.relay.fingerprint: s for s in net.servers}
+        dep = ChainDeployment(client, template, servers=servers)
+        yield from client.retrying(task, lambda: dep.deploy(task),
+                                   attempts=5, backoff_s=2.0)
+        shared["busy_fps"].update(dep.overlay.boxes_used())
+        shared[f"chain:{tenant.name}"] = dep
+        shared["operators_ready"] += 1
+        say(f"chain '{tenant.name}': {len(dep.overlay.replicas)} replicas "
+            f"on {len(dep.overlay.boxes_used())} boxes")
+        while net.sim.now < spec.duration_s + 30.0:
+            yield Sleep(5.0)
+        try:
+            stage_stats = yield from dep.shutdown(task)
+        except _CLIENT_ERRORS:
+            stage_stats = {}
+        shared["stats"][tenant.name] = {
+            "engine": dep.overlay.engine,
+            "replicas": len(dep.overlay.replicas),
+            "boxes_used": len(dep.overlay.boxes_used()),
+            "reembeds": dep.reembeds,
+            "units_delivered": dep.units_delivered,
+            "processed": {label: (s or {}).get("processed")
+                          for label, s in sorted(stage_stats.items())},
+        }
+
+    def chain_arrival(task: Actor, tenant: TenantSpec,
+                      event: WorkloadEvent, record: dict):
+        from repro.chain import ChainDeployError
+
+        while f"chain:{tenant.name}" not in shared:
+            if net.sim.now > spec.duration_s + 120.0:
+                record["outcome"] = "failed"
+                return
+            yield Sleep(1.0)
+        dep = shared[f"chain:{tenant.name}"]
+        payload = bytes(net.sim.rng.fork(
+            f"unit:{tenant.name}:{event.index}").randbytes(
+                min(tenant.payload_bytes, 4096)))
+        expect = dep.expected_outputs(payload)
+        try:
+            out = yield from dep.push(task, payload,
+                                      deadline_s=tenant.deadline_s)
+        except ServerBusy:
+            record["outcome"] = "refused"
+            return
+        except (ChainDeployError,) + _CLIENT_ERRORS:
+            record["outcome"] = "gave_up"
+            return
+        record["done"] = round(net.sim.now, 6)
+        record["outcome"] = "ok" if out == expect else "failed"
+
     # -- plane directors ---------------------------------------------------
 
     def chaos_director(task: Actor):
@@ -562,6 +622,11 @@ def _run(spec: WorkloadSpec, workload: Workload, verbose: bool) -> dict:
                 functools.partial(ddos_operator, tenant=tenant),
                 name=f"op:{tenant.name}"))
             per_event = ddos_arrival
+        elif tenant.function == "chain":
+            actors.append(net.sim.spawn(
+                functools.partial(chain_operator, tenant=tenant),
+                name=f"op:{tenant.name}"))
+            per_event = chain_arrival
         else:
             per_event = session_flow
         for event, record in zip(events, records[tenant.name]):
@@ -594,7 +659,8 @@ def _run(spec: WorkloadSpec, workload: Workload, verbose: bool) -> dict:
         "session_reconnects", "circuits_rebuilt", "replicas_respawned",
         "orphans_reaped", "checkpoints_taken", "migrations_started",
         "migrations_completed", "migrations_failed", "standby_promotions",
-        "legacy_threads_spawned")}
+        "chain_embeds", "chain_reembeds", "chain_arc_bytes",
+        "chain_units_delivered", "legacy_threads_spawned")}
     probe_out = None
     if probe is not None:
         values = probe_state["values"]

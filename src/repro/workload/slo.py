@@ -153,6 +153,19 @@ def build_report(spec: WorkloadSpec, result: dict) -> dict:
                              if samples else None),
         }
 
+    chain_section = None
+    if any(t.function == "chain" for t in spec.tenants):
+        chain_section = {
+            "embeds": counters["chain_embeds"],
+            "reembeds": counters["chain_reembeds"],
+            "arc_bytes": counters["chain_arc_bytes"],
+            "units_delivered": counters["chain_units_delivered"],
+            "service_stats": {
+                name: result["service_stats"].get(name)
+                for name, t in sorted(tenants_by_name.items())
+                if t.function == "chain"},
+        }
+
     migrate_section = None
     if planes.migrate:
         migrate_section = {
@@ -185,6 +198,7 @@ def build_report(spec: WorkloadSpec, result: dict) -> dict:
         "qos": qos_section,
         "chaos": chaos_section,
         "migrate": migrate_section,
+        "chain": chain_section,
         "probe": probe_section,
         "ddos": ddos_section or None,
         "sim": {
@@ -276,7 +290,7 @@ def render_report(report: dict) -> str:
         if stats:
             lines.append(f"  {cls:<12} : p50 {stats['p50']:.2f}s  "
                          f"p99 {stats['p99']:.2f}s  (n={stats['n']})")
-    for plane in ("qos", "chaos", "migrate"):
+    for plane in ("qos", "chaos", "migrate", "chain"):
         section = report["metrics"][plane]
         if section:
             body = ", ".join(f"{k}={v}" for k, v in section.items()

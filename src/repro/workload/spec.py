@@ -40,8 +40,10 @@ __all__ = [
 #: Supported arrival processes (see :mod:`repro.workload.arrivals`).
 ARRIVAL_KINDS = ("poisson", "diurnal", "flash", "burst", "churn")
 
-#: Functions a tenant may deploy (the paper's evaluation mix).
-TENANT_FUNCTIONS = ("kvstore", "loadbalancer", "shard", "ddos_defense")
+#: Functions a tenant may deploy (the paper's evaluation mix, plus the
+#: chain plane's service graphs).
+TENANT_FUNCTIONS = ("kvstore", "loadbalancer", "shard", "ddos_defense",
+                    "chain")
 
 #: Comparison operators an SLO assertion may use.
 SLO_OPS = ("<=", ">=", "==")
@@ -179,6 +181,10 @@ class TenantSpec:
     * ``ddos_defense`` — an operator runs the §9.4 puzzle-guarded hidden
       service at ``pow_difficulty`` bits; a generated ``attack_fraction``
       of arrivals carry no proof of work and must be rejected.
+    * ``chain`` — an operator embeds and deploys the stock
+      Cover→Browser-defense→Store service graph through the chain plane
+      (:mod:`repro.chain`); arrivals are traffic units pushed end to end
+      whose sink output must match the template's transform oracle.
 
     ``deadline_s`` is the per-session SLO: a completion later than this
     counts against goodput.  ``hold_s`` keeps a session's container alive

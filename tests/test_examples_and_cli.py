@@ -51,11 +51,25 @@ class TestExamples:
 
 class TestCli:
     def test_list(self, capsys):
-        from repro.cli import main
+        from repro.cli import SCENARIOS, main
 
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "quickstart" in out and "fingerprint" in out
+        # Every registered scenario appears with its one-line summary.
+        for name, fn in SCENARIOS.items():
+            summary = fn.__doc__.strip().splitlines()[0]
+            line = next(ln for ln in out.splitlines()
+                        if ln.startswith(name + " "))
+            assert summary in line
+
+    def test_chain_report_scenario(self, capsys):
+        from repro.cli import main
+
+        assert main(["chain-report", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "joint  embed" in out and "greedy embed" in out
+        assert "outputs verified: 5/5" in out
 
     def test_quickstart_scenario(self, capsys):
         from repro.cli import main

@@ -18,6 +18,7 @@ from repro.qos import (
     TokenBucket,
     rank_boxes,
 )
+from repro.qos.placement import pick_box_by_slack
 from repro.sandbox.cgroups import CGroup, ResourceExceeded
 from repro.tor.testnet import TorTestNetwork
 from repro.util.rng import DeterministicRandom
@@ -268,6 +269,26 @@ class TestPlacement:
         table = {fp: {"slots_free": 1, "queue_len": 0, "shedding": False}
                  for fp in ("aa", "zz")}
         assert [b.identity_fp for b in rank_boxes(boxes, table)] == ["aa", "zz"]
+
+    def test_pick_is_stable_under_candidate_order(self):
+        """Equal-slack boxes must pick in a seed-independent order.
+
+        The winner may depend only on the fingerprint tie-break — never
+        on the order the candidate list (or the load table's dict
+        iteration) happens to arrive in.
+        """
+        import itertools
+
+        fps = ["dd", "bb", "aa", "cc"]
+        table = {fp: {"slots_free": 2, "queue_len": 1, "shedding": False}
+                 for fp in fps}
+        for perm in itertools.permutations(fps):
+            boxes = [_Desc(fp) for fp in perm]
+            assert pick_box_by_slack(boxes, table).identity_fp == "aa"
+            # Unreported boxes outrank every reporting one, same rule.
+            assert pick_box_by_slack(boxes, {}).identity_fp == "aa"
+        with pytest.raises(ValueError):
+            pick_box_by_slack([], table)
 
 
 class TestAdmissionPuzzle:
